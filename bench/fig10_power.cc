@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Fig 10: power efficiency (MOPS/W normalized to LISA) on the 3x3 and 4x4
+ * baseline CGRAs. Power comes from the activity model in src/power (the
+ * paper synthesizes at 22 nm / 100 MHz; only relative activity matters
+ * for the normalized comparison).
+ */
+
+#include "arch/cgra.hh"
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace lisabench;
+    {
+        arch::CgraArch accel(arch::baselineCgra(3, 3));
+        auto results = compareMappers(accel, workloads::polybenchSuite(),
+                                      scaled(CompareOptions{}));
+        printPowerTable("Fig 10a: 3x3 baseline CGRA", results);
+    }
+    {
+        arch::CgraArch accel(arch::baselineCgra(4, 4));
+        auto results = compareMappers(accel, workloads::polybenchSuite(),
+                                      scaled(CompareOptions{}));
+        printPowerTable("Fig 10b: 4x4 baseline CGRA", results);
+    }
+    return 0;
+}

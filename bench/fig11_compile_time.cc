@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fig 11: compilation-time comparison on the 3x3 and 4x4 baseline CGRAs.
+ * As in the paper, combinations a mapper cannot map are charged their
+ * termination time.
+ */
+
+#include "arch/cgra.hh"
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace lisabench;
+    {
+        arch::CgraArch accel(arch::baselineCgra(3, 3));
+        auto results = compareMappers(accel, workloads::polybenchSuite(),
+                                      scaled(CompareOptions{}));
+        printTimeTable("Fig 11a: 3x3 baseline CGRA", results);
+    }
+    {
+        arch::CgraArch accel(arch::baselineCgra(4, 4));
+        auto results = compareMappers(accel, workloads::polybenchSuite(),
+                                      scaled(CompareOptions{}));
+        printTimeTable("Fig 11b: 4x4 baseline CGRA", results);
+    }
+    return 0;
+}

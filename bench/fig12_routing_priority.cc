@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig 12: effectiveness of the temporal-mapping-distance label (label 4)
+ * used as a routing priority — vanilla SA vs SA+priority vs LISA on the
+ * 4x4 baseline CGRA and the less-routing-resources variant.
+ */
+
+#include <iostream>
+
+#include "arch/cgra.hh"
+#include "harness.hh"
+#include "mappers/sa_mapper.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace lisabench;
+
+void
+runOne(const arch::Accelerator &accel, const std::string &title)
+{
+    core::LisaFramework &fw = frameworkFor(accel);
+    CompareOptions opts = scaled(CompareOptions{});
+
+    Table t({"kernel", "SA", "SA+prio", "LISA"});
+    for (const auto &w : workloads::polybenchSuite()) {
+        map::SearchOptions sopts;
+        sopts.perIiBudget = opts.saPerIi;
+        sopts.totalBudget = opts.saTotal;
+
+        map::SaMapper sa;
+        auto r_sa = map::searchMinIi(sa, w.dfg, accel, sopts);
+
+        map::SaConfig prio_cfg;
+        prio_cfg.routingPriority = true;
+        map::SaMapper sa_prio(prio_cfg);
+        auto r_prio = map::searchMinIi(sa_prio, w.dfg, accel, sopts);
+
+        map::SearchOptions lopts;
+        lopts.perIiBudget = opts.lisaPerIi;
+        lopts.totalBudget = opts.lisaTotal;
+        auto r_lisa = fw.compile(w.dfg, lopts);
+
+        auto cell = [](const map::SearchResult &r) {
+            return std::to_string(r.success ? r.ii : 0);
+        };
+        std::cerr << "[bench] " << accel.name() << " " << w.name << ": SA="
+                  << cell(r_sa) << " SA+prio=" << cell(r_prio)
+                  << " LISA=" << cell(r_lisa) << "\n";
+        t.addRow({w.name, cell(r_sa), cell(r_prio), cell(r_lisa)});
+    }
+    std::cout << "\n== " << title << " (II; 0 = cannot map) ==\n";
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    arch::CgraArch baseline(arch::baselineCgra(4, 4));
+    runOne(baseline, "Fig 12a: 4x4 baseline CGRA");
+    arch::CgraArch less(arch::lessRoutingCgra());
+    runOne(less, "Fig 12b: 4x4 CGRA with less routing resources");
+    return 0;
+}

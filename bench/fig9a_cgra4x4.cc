@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fig 9a: II comparison of LISA vs ILP vs SA for the PolyBench suite on
+ * the 4x4 baseline CGRA.
+ */
+
+#include "arch/cgra.hh"
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace lisabench;
+    arch::CgraArch accel(arch::baselineCgra(4, 4));
+    auto results = compareMappers(accel, workloads::polybenchSuite(),
+                                  scaled(CompareOptions{}));
+    printIiTable("Fig 9a: 4x4 baseline CGRA", results);
+    return 0;
+}

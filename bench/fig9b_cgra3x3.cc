@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fig 9b: II comparison of LISA vs ILP vs SA for the PolyBench suite on
+ * the 3x3 baseline CGRA.
+ */
+
+#include "arch/cgra.hh"
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace lisabench;
+    arch::CgraArch accel(arch::baselineCgra(3, 3));
+    auto results = compareMappers(accel, workloads::polybenchSuite(),
+                                  scaled(CompareOptions{}));
+    printIiTable("Fig 9b: 3x3 baseline CGRA", results);
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fig 9c: II comparison on the 4x4 CGRA with less routing resources
+ * (one register per PE instead of four).
+ */
+
+#include "arch/cgra.hh"
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace lisabench;
+    arch::CgraArch accel(arch::lessRoutingCgra());
+    auto results = compareMappers(accel, workloads::polybenchSuite(),
+                                  scaled(CompareOptions{}));
+    printIiTable("Fig 9c: 4x4 CGRA, 1 register/PE (less routing)", results);
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Fig 9d: II comparison for unrolled (factor 2) kernels on the 4x4
+ * baseline CGRA. The paper uses 6 unrolled kernels.
+ */
+
+#include "arch/cgra.hh"
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace lisabench;
+    arch::CgraArch accel(arch::baselineCgra(4, 4));
+    auto suite = workloads::unrolledSuite(
+        2, {"atax", "bicg", "gemm", "gesummv", "symm", "syr2k"});
+    auto results = compareMappers(accel, suite, scaled(CompareOptions{}));
+    printIiTable("Fig 9d: unrolled (x2) kernels on 4x4 CGRA", results);
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fig 9e: II comparison on the 4x4 CGRA with less memory connectivity
+ * (only the left-most column can issue loads/stores).
+ */
+
+#include "arch/cgra.hh"
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace lisabench;
+    arch::CgraArch accel(arch::lessMemoryCgra());
+    auto results = compareMappers(accel, workloads::polybenchSuite(),
+                                  scaled(CompareOptions{}));
+    printIiTable("Fig 9e: 4x4 CGRA, left-column memory only", results);
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Fig 9f: II comparison for unrolled (factor 2) kernels on the 8x8
+ * baseline CGRA — the scalability experiment (8 unrolled kernels).
+ */
+
+#include "arch/cgra.hh"
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace lisabench;
+    arch::CgraArch accel(arch::baselineCgra(8, 8));
+    CompareOptions opts;
+    // Bigger search space: slightly larger budgets, like the paper's
+    // proportionally longer 8x8 runs.
+    opts.saTotal = 8.0;
+    opts.ilpTotal = 8.0;
+    opts.lisaTotal = 8.0;
+    auto results =
+        compareMappers(accel, workloads::unrolledSuite(2), scaled(opts));
+    printIiTable("Fig 9f: unrolled (x2) kernels on 8x8 CGRA", results);
+    return 0;
+}

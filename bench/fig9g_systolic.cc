@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Fig 9g: mapping success (check/cross) on the 5x5 systolic accelerator.
+ * Streaming kernel variants are used: the systolic array's left column
+ * receives streamed operands (address generation lives outside the
+ * array). trmm keeps its compare/select and cannot map anywhere.
+ */
+
+#include "arch/systolic.hh"
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace lisabench;
+    arch::SystolicArch accel(5, 5);
+    CompareOptions opts;
+    opts.saTotal = 4.0;
+    opts.ilpTotal = 4.0;
+    opts.lisaTotal = 4.0;
+    auto results =
+        compareMappers(accel, workloads::streamingSuite(), scaled(opts));
+    printSuccessTable("Fig 9g: 5x5 systolic accelerator", results);
+    return 0;
+}

@@ -1,0 +1,213 @@
+#include "harness.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "core/lisa_mapper.hh"
+#include "mappers/exact_mapper.hh"
+#include "mappers/sa_mapper.hh"
+#include "power/power_model.hh"
+#include "support/table.hh"
+
+namespace lisabench {
+
+namespace {
+
+bool
+fastMode()
+{
+    const char *v = std::getenv("LISA_BENCH_FAST");
+    return v && *v && std::string(v) != "0";
+}
+
+int
+saRuns()
+{
+    const char *v = std::getenv("LISA_SA_RUNS");
+    if (!v || !*v)
+        return 1;
+    return std::max(1, std::atoi(v));
+}
+
+std::string
+iiCell(const map::SearchResult &r)
+{
+    return std::to_string(r.success ? r.ii : 0);
+}
+
+} // namespace
+
+CompareOptions
+scaled(CompareOptions options)
+{
+    if (fastMode()) {
+        options.saPerIi /= 4;
+        options.saTotal /= 4;
+        options.ilpPerIi /= 4;
+        options.ilpTotal /= 4;
+        options.lisaPerIi /= 4;
+        options.lisaTotal /= 4;
+    }
+    return options;
+}
+
+core::LisaFramework &
+frameworkFor(const arch::Accelerator &accel)
+{
+    static std::map<std::string, std::unique_ptr<core::LisaFramework>>
+        registry;
+    auto it = registry.find(accel.name());
+    if (it == registry.end()) {
+        core::FrameworkConfig cfg;
+        cfg.trainingData.numDfgs = fastMode() ? 12 : 60;
+        cfg.trainingData.refinements = 4;
+        cfg.trainingData.perIiBudget = 0.25;
+        cfg.trainingData.totalBudget = 1.2;
+        cfg.training.epochs = fastMode() ? 40 : 120;
+        cfg.cacheDir = "lisa_models";
+        auto fw = std::make_unique<core::LisaFramework>(accel, cfg);
+        std::cerr << "[bench] preparing LISA models for " << accel.name()
+                  << " (cached in ./lisa_models)\n";
+        fw->prepare();
+        it = registry.emplace(accel.name(), std::move(fw)).first;
+    }
+    return *it->second;
+}
+
+std::vector<CompareResult>
+compareMappers(const arch::Accelerator &accel,
+               const std::vector<workloads::Workload> &suite,
+               const CompareOptions &options)
+{
+    core::LisaFramework &fw = frameworkFor(accel);
+    const int runs = saRuns();
+
+    std::vector<CompareResult> out;
+    for (const auto &w : suite) {
+        CompareResult row;
+        row.kernel = w.name;
+
+        if (options.runIlp) {
+            map::ExactMapper ilp;
+            map::SearchOptions opts;
+            opts.perIiBudget = options.ilpPerIi;
+            opts.totalBudget = options.ilpTotal;
+            opts.seed = options.seed;
+            row.ilp = map::searchMinIi(ilp, w.dfg, accel, opts);
+        }
+
+        if (options.runSa) {
+            // Median of `runs` SA attempts, as the paper does for 3.
+            std::vector<map::SearchResult> attempts;
+            for (int r = 0; r < runs; ++r) {
+                map::SaMapper sa;
+                map::SearchOptions opts;
+                opts.perIiBudget = options.saPerIi;
+                opts.totalBudget = options.saTotal;
+                opts.seed = options.seed + static_cast<uint64_t>(r) * 977;
+                attempts.push_back(map::searchMinIi(sa, w.dfg, accel, opts));
+            }
+            std::sort(attempts.begin(), attempts.end(),
+                      [](const map::SearchResult &a,
+                         const map::SearchResult &b) {
+                          int ia = a.success ? a.ii : 1000;
+                          int ib = b.success ? b.ii : 1000;
+                          return ia < ib;
+                      });
+            row.sa = std::move(attempts[attempts.size() / 2]);
+        }
+
+        {
+            map::SearchOptions opts;
+            opts.perIiBudget = options.lisaPerIi;
+            opts.totalBudget = options.lisaTotal;
+            opts.seed = options.seed;
+            row.lisa = fw.compile(w.dfg, opts);
+        }
+
+        std::cerr << "[bench] " << accel.name() << " " << w.name
+                  << ": ILP*=" << iiCell(row.ilp) << " SA=" << iiCell(row.sa)
+                  << " LISA=" << iiCell(row.lisa) << "\n";
+        out.push_back(std::move(row));
+    }
+    return out;
+}
+
+void
+printIiTable(const std::string &title,
+             const std::vector<CompareResult> &results)
+{
+    std::cout << "\n== " << title
+              << " (II; 0 = cannot map within budget) ==\n";
+    Table t({"kernel", "ILP*", "SA", "LISA"});
+    for (const auto &r : results)
+        t.addRow({r.kernel, iiCell(r.ilp), iiCell(r.sa), iiCell(r.lisa)});
+    t.print(std::cout);
+}
+
+void
+printTimeTable(const std::string &title,
+               const std::vector<CompareResult> &results)
+{
+    std::cout << "\n== " << title
+              << " (compilation seconds; failures use termination time) "
+                 "==\n";
+    Table t({"kernel", "ILP*", "SA", "LISA"});
+    double ilp_total = 0, sa_total = 0, lisa_total = 0;
+    for (const auto &r : results) {
+        t.addRow({r.kernel, fmtDouble(r.ilp.seconds),
+                  fmtDouble(r.sa.seconds), fmtDouble(r.lisa.seconds)});
+        ilp_total += r.ilp.seconds;
+        sa_total += r.sa.seconds;
+        lisa_total += r.lisa.seconds;
+    }
+    t.addRow({"(total)", fmtDouble(ilp_total), fmtDouble(sa_total),
+              fmtDouble(lisa_total)});
+    t.print(std::cout);
+    if (lisa_total > 0) {
+        std::cout << "geomean-free speedup vs LISA:  ILP* "
+                  << fmtDouble(ilp_total / lisa_total, 1) << "x,  SA "
+                  << fmtDouble(sa_total / lisa_total, 1) << "x\n";
+    }
+}
+
+void
+printSuccessTable(const std::string &title,
+                  const std::vector<CompareResult> &results)
+{
+    std::cout << "\n== " << title << " (mapping success) ==\n";
+    auto mark = [](const map::SearchResult &r) {
+        return std::string(r.success ? "yes" : "no");
+    };
+    Table t({"kernel", "ILP*", "SA", "LISA"});
+    for (const auto &r : results)
+        t.addRow({r.kernel, mark(r.ilp), mark(r.sa), mark(r.lisa)});
+    t.print(std::cout);
+}
+
+void
+printPowerTable(const std::string &title,
+                const std::vector<CompareResult> &results)
+{
+    std::cout << "\n== " << title
+              << " (MOPS/W normalized to LISA; 0 = cannot map) ==\n";
+    Table t({"kernel", "ILP*", "SA", "LISA"});
+    auto mops = [](const map::SearchResult &r) {
+        if (!r.success || !r.mapping)
+            return 0.0;
+        return power::evaluatePower(*r.mapping).mopsPerWatt;
+    };
+    for (const auto &r : results) {
+        double lisa = mops(r.lisa);
+        auto norm = [&](double v) {
+            return lisa > 0 ? fmtDouble(v / lisa) : fmtDouble(0.0);
+        };
+        t.addRow({r.kernel, norm(mops(r.ilp)), norm(mops(r.sa)),
+                  lisa > 0 ? "1.00" : "0.00"});
+    }
+    t.print(std::cout);
+}
+
+} // namespace lisabench

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared benchmark harness: runs the three mappers (ILP* exact stand-in,
+ * vanilla SA, LISA) over a workload set on one accelerator and prints the
+ * paper-style rows. LISA models are trained on demand and cached under
+ * ./lisa_models so all bench binaries share the one-off training cost.
+ *
+ * Environment knobs:
+ *  - LISA_BENCH_FAST=1  : quarter budgets (smoke-testing the harness)
+ *  - LISA_SA_RUNS=n     : SA runs per combination (median reported;
+ *                         default 1, the paper uses 3)
+ */
+
+#ifndef LISA_BENCH_HARNESS_HH
+#define LISA_BENCH_HARNESS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.hh"
+#include "core/framework.hh"
+#include "mapping/ii_search.hh"
+#include "workloads/registry.hh"
+
+namespace lisabench {
+
+using namespace lisa;
+
+/** Budgets for one mapper-comparison sweep. */
+struct CompareOptions
+{
+    double saPerIi = 1.0;
+    double saTotal = 6.0;
+    /** The exact mapper burns its budget at low IIs, like ILP. */
+    double ilpPerIi = 2.0;
+    double ilpTotal = 6.0;
+    double lisaPerIi = 1.0;
+    double lisaTotal = 6.0;
+    uint64_t seed = 1;
+    bool runIlp = true;
+    bool runSa = true;
+};
+
+/** Apply LISA_BENCH_FAST scaling. */
+CompareOptions scaled(CompareOptions options);
+
+/** One kernel's outcome across the mappers. */
+struct CompareResult
+{
+    std::string kernel;
+    map::SearchResult ilp;
+    map::SearchResult sa;
+    map::SearchResult lisa;
+};
+
+/**
+ * Get (and prepare) the shared LISA framework for an accelerator. The
+ * instance lives for the process; models are cached in ./lisa_models.
+ */
+core::LisaFramework &frameworkFor(const arch::Accelerator &accel);
+
+/** Run SA (median of LISA_SA_RUNS), ILP*, and LISA on every workload. */
+std::vector<CompareResult>
+compareMappers(const arch::Accelerator &accel,
+               const std::vector<workloads::Workload> &suite,
+               const CompareOptions &options);
+
+/** Paper Fig 9 style: II per mapper (0 = could not map). */
+void printIiTable(const std::string &title,
+                  const std::vector<CompareResult> &results);
+
+/** Paper Fig 11 style: compilation seconds per mapper. */
+void printTimeTable(const std::string &title,
+                    const std::vector<CompareResult> &results);
+
+/** Paper Fig 9g style: check/cross per mapper. */
+void printSuccessTable(const std::string &title,
+                       const std::vector<CompareResult> &results);
+
+/** Paper Fig 10 style: MOPS/W normalized to LISA. */
+void printPowerTable(const std::string &title,
+                     const std::vector<CompareResult> &results);
+
+} // namespace lisabench
+
+#endif // LISA_BENCH_HARNESS_HH

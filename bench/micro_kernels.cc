@@ -1,0 +1,102 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot primitives: DFG analysis,
+ * attribute generation, MRRG construction, single-edge routing, and one
+ * GNN forward pass.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/cgra.hh"
+#include "dfg/analysis.hh"
+#include "dfg/generator.hh"
+#include "gnn/attributes.hh"
+#include "gnn/schedule_order_net.hh"
+#include "mapping/router.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace lisa;
+
+dfg::Dfg
+randomGraph(int nodes, uint64_t seed)
+{
+    Rng rng(seed);
+    dfg::GeneratorConfig cfg;
+    cfg.minNodes = nodes;
+    cfg.maxNodes = nodes;
+    return dfg::generateRandomDfg(cfg, rng);
+}
+
+void
+BM_Analysis(benchmark::State &state)
+{
+    dfg::Dfg g = randomGraph(static_cast<int>(state.range(0)), 1);
+    for (auto _ : state) {
+        dfg::Analysis an(g);
+        benchmark::DoNotOptimize(an.criticalPathLength());
+    }
+}
+BENCHMARK(BM_Analysis)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_AttributesGenerator(benchmark::State &state)
+{
+    dfg::Dfg g = randomGraph(static_cast<int>(state.range(0)), 2);
+    dfg::Analysis an(g);
+    for (auto _ : state) {
+        auto attrs = gnn::computeAttributes(g, an);
+        benchmark::DoNotOptimize(attrs.nodeAttrs.rows());
+    }
+}
+BENCHMARK(BM_AttributesGenerator)->Arg(16)->Arg(32);
+
+void
+BM_MrrgBuild(benchmark::State &state)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    for (auto _ : state) {
+        arch::Mrrg m(c, static_cast<int>(state.range(0)));
+        benchmark::DoNotOptimize(m.numResources());
+    }
+}
+BENCHMARK(BM_MrrgBuild)->Arg(2)->Arg(8)->Arg(24);
+
+void
+BM_RouteOneEdge(benchmark::State &state)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto mrrg =
+        std::make_shared<const arch::Mrrg>(c, static_cast<int>(state.range(0)));
+    dfg::Dfg g;
+    dfg::NodeId a = g.addNode(dfg::OpCode::Load, "a");
+    dfg::NodeId b = g.addNode(dfg::OpCode::Add, "b");
+    dfg::EdgeId edge = g.addEdge(a, b);
+    map::Mapping m(g, mrrg);
+    // Producer and a far consumer: corner to corner, 4 cycles later.
+    m.placeNode(a, 0, 0);
+    m.placeNode(b, 15, 4);
+    for (auto _ : state) {
+        auto r = map::routeEdge(m, edge, map::RouterCosts{});
+        benchmark::DoNotOptimize(r.has_value());
+    }
+}
+BENCHMARK(BM_RouteOneEdge)->Arg(2)->Arg(8);
+
+void
+BM_GnnForward(benchmark::State &state)
+{
+    dfg::Dfg g = randomGraph(static_cast<int>(state.range(0)), 3);
+    dfg::Analysis an(g);
+    auto attrs = gnn::computeAttributes(g, an);
+    Rng rng(4);
+    gnn::ScheduleOrderNet net(rng);
+    for (auto _ : state) {
+        auto out = net.forward(attrs);
+        benchmark::DoNotOptimize(out.rows());
+    }
+}
+BENCHMARK(BM_GnnForward)->Arg(16)->Arg(32);
+
+} // namespace

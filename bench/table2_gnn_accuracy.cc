@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table II: GNN label prediction accuracy for all six modelled spatial
+ * accelerators. Uses the paper's tolerance rules: label 1 exact after
+ * rounding, labels 2/3 within 1, label 4 within 2; accuracy is measured
+ * on a held-out split of the per-accelerator training set.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "arch/cgra.hh"
+#include "arch/systolic.hh"
+#include "harness.hh"
+#include "support/table.hh"
+
+int
+main()
+{
+    using namespace lisabench;
+
+    std::vector<std::unique_ptr<arch::Accelerator>> accels;
+    accels.push_back(
+        std::make_unique<arch::CgraArch>(arch::baselineCgra(4, 4)));
+    accels.push_back(
+        std::make_unique<arch::CgraArch>(arch::baselineCgra(3, 3)));
+    accels.push_back(
+        std::make_unique<arch::CgraArch>(arch::lessRoutingCgra()));
+    accels.push_back(
+        std::make_unique<arch::CgraArch>(arch::lessMemoryCgra()));
+    accels.push_back(
+        std::make_unique<arch::CgraArch>(arch::baselineCgra(8, 8)));
+    accels.push_back(std::make_unique<arch::SystolicArch>(5, 5));
+
+    Table t({"accelerator", "label1", "label2", "label3", "label4"});
+    for (const auto &accel : accels) {
+        core::LisaFramework &fw = frameworkFor(*accel);
+        const auto &acc = fw.labelAccuracy();
+        t.addRow({accel->name(), fmtDouble(acc[0], 3), fmtDouble(acc[1], 3),
+                  fmtDouble(acc[2], 3), fmtDouble(acc[3], 3)});
+    }
+    std::cout << "\n== Table II: GNN label prediction accuracy ==\n";
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,63 @@
+#include "arch/accelerator.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace lisa::arch {
+
+int
+manhattan(const PeCoord &a, const PeCoord &b)
+{
+    return std::abs(a.row - b.row) + std::abs(a.col - b.col);
+}
+
+Accelerator::Accelerator(std::string name, std::vector<PeCoord> pe_coords)
+    : _name(std::move(name)), coords(std::move(pe_coords))
+{
+    if (coords.empty())
+        fatal("Accelerator '", _name, "' has no PEs");
+}
+
+void
+Accelerator::setLinks(std::vector<std::vector<int>> out_links)
+{
+    if (out_links.size() != coords.size())
+        panic("setLinks: link table size mismatch");
+    outLinks = std::move(out_links);
+    inLinks.assign(coords.size(), {});
+    for (size_t src = 0; src < outLinks.size(); ++src) {
+        for (int dst : outLinks[src]) {
+            if (dst < 0 || dst >= numPes())
+                panic("setLinks: link target out of range");
+            inLinks[dst].push_back(static_cast<int>(src));
+        }
+    }
+}
+
+bool
+Accelerator::supportsOpAnywhere(dfg::OpCode op) const
+{
+    for (int pe = 0; pe < numPes(); ++pe)
+        if (supportsOp(pe, op))
+            return true;
+    return false;
+}
+
+int
+Accelerator::spatialDistance(int pe_a, int pe_b) const
+{
+    return manhattan(coords[pe_a], coords[pe_b]);
+}
+
+std::vector<int>
+Accelerator::opCapablePes(dfg::OpCode op) const
+{
+    std::vector<int> out;
+    for (int pe = 0; pe < numPes(); ++pe)
+        if (supportsOp(pe, op))
+            out.push_back(pe);
+    return out;
+}
+
+} // namespace lisa::arch

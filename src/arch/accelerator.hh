@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Abstract spatial-accelerator description.
+ *
+ * An Accelerator exposes exactly what the portable mapper needs: the PE
+ * grid, the inter-PE links, per-PE register counts, per-PE operation
+ * support, and whether the architecture time-multiplexes its resources
+ * (CGRA) or assigns each PE one role for the whole run (systolic array).
+ */
+
+#ifndef LISA_ARCH_ACCELERATOR_HH
+#define LISA_ARCH_ACCELERATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.hh"
+
+namespace lisa::arch {
+
+/** Grid position of a PE. */
+struct PeCoord
+{
+    int row = 0;
+    int col = 0;
+};
+
+/** Manhattan distance between two grid positions. */
+int manhattan(const PeCoord &a, const PeCoord &b);
+
+/**
+ * Base class for spatial accelerator models.
+ *
+ * Subclasses populate the link structure in their constructors via
+ * setLinks(); incoming-link lists are derived automatically.
+ */
+class Accelerator
+{
+  public:
+    virtual ~Accelerator() = default;
+
+    /** Short identifier, e.g. "cgra4x4". */
+    const std::string &name() const { return _name; }
+
+    int numPes() const { return static_cast<int>(coords.size()); }
+
+    /** Grid coordinate of PE @p pe. */
+    const PeCoord &peCoord(int pe) const { return coords[pe]; }
+
+    /** PEs reachable from @p pe in one hop. */
+    const std::vector<int> &linkTargets(int pe) const { return outLinks[pe]; }
+
+    /** PEs that can send to @p pe in one hop. */
+    const std::vector<int> &linkSources(int pe) const { return inLinks[pe]; }
+
+    /** Registers available for buffering per PE. */
+    virtual int registersPerPe() const = 0;
+
+    /** Whether PE @p pe can execute operation @p op. */
+    virtual bool supportsOp(int pe, dfg::OpCode op) const = 0;
+
+    /** Whether @p op is executable somewhere on this accelerator. */
+    bool supportsOpAnywhere(dfg::OpCode op) const;
+
+    /**
+     * True when resources are time-multiplexed with an initiation interval
+     * (CGRA); false for single-configuration spatial mapping (systolic).
+     */
+    virtual bool temporalMapping() const = 0;
+
+    /** Largest II the configuration memory supports (1 when spatial). */
+    virtual int maxIi() const = 0;
+
+    /** Spatial distance used by the distance labels (Manhattan on grids). */
+    virtual int spatialDistance(int pe_a, int pe_b) const;
+
+    /** PEs able to execute @p op (helper for placement candidates). */
+    std::vector<int> opCapablePes(dfg::OpCode op) const;
+
+  protected:
+    Accelerator(std::string name, std::vector<PeCoord> pe_coords);
+
+    /** Install the one-hop connectivity; derives linkSources(). */
+    void setLinks(std::vector<std::vector<int>> out_links);
+
+  private:
+    std::string _name;
+    std::vector<PeCoord> coords;
+    std::vector<std::vector<int>> outLinks;
+    std::vector<std::vector<int>> inLinks;
+};
+
+} // namespace lisa::arch
+
+#endif // LISA_ARCH_ACCELERATOR_HH

@@ -1,0 +1,93 @@
+#include "arch/cgra.hh"
+
+#include <string>
+
+#include "support/logging.hh"
+
+namespace lisa::arch {
+
+std::string
+CgraArch::makeName(const CgraConfig &config)
+{
+    std::string name = "cgra" + std::to_string(config.rows) + "x" +
+                       std::to_string(config.cols);
+    if (config.registersPerPe != 4)
+        name += "_r" + std::to_string(config.registersPerPe);
+    if (config.memPolicy == MemPolicy::LeftColumn)
+        name += "_memL";
+    return name;
+}
+
+std::vector<PeCoord>
+CgraArch::makeCoords(const CgraConfig &config)
+{
+    std::vector<PeCoord> coords;
+    coords.reserve(static_cast<size_t>(config.rows) * config.cols);
+    for (int r = 0; r < config.rows; ++r)
+        for (int c = 0; c < config.cols; ++c)
+            coords.push_back(PeCoord{r, c});
+    return coords;
+}
+
+CgraArch::CgraArch(const CgraConfig &config)
+    : Accelerator(makeName(config), makeCoords(config)), cfg(config)
+{
+    if (cfg.rows < 1 || cfg.cols < 1)
+        fatal("CGRA needs at least a 1x1 grid");
+    if (cfg.registersPerPe < 0)
+        fatal("CGRA register count must be >= 0");
+    if (cfg.configDepth < 1)
+        fatal("CGRA config depth must be >= 1");
+
+    auto pe_at = [&](int r, int c) { return r * cfg.cols + c; };
+    std::vector<std::vector<int>> links(numPes());
+    for (int r = 0; r < cfg.rows; ++r) {
+        for (int c = 0; c < cfg.cols; ++c) {
+            auto &out = links[pe_at(r, c)];
+            if (r > 0)
+                out.push_back(pe_at(r - 1, c));
+            if (r + 1 < cfg.rows)
+                out.push_back(pe_at(r + 1, c));
+            if (c > 0)
+                out.push_back(pe_at(r, c - 1));
+            if (c + 1 < cfg.cols)
+                out.push_back(pe_at(r, c + 1));
+        }
+    }
+    setLinks(std::move(links));
+}
+
+bool
+CgraArch::supportsOp(int pe, dfg::OpCode op) const
+{
+    if (dfg::isMemoryOp(op) && cfg.memPolicy == MemPolicy::LeftColumn)
+        return peCoord(pe).col == 0;
+    return true;
+}
+
+CgraConfig
+baselineCgra(int rows, int cols)
+{
+    CgraConfig cfg;
+    cfg.rows = rows;
+    cfg.cols = cols;
+    return cfg;
+}
+
+CgraConfig
+lessRoutingCgra()
+{
+    CgraConfig cfg;
+    cfg.registersPerPe = 1;
+    return cfg;
+}
+
+CgraConfig
+lessMemoryCgra()
+{
+    CgraConfig cfg;
+    cfg.memPolicy = MemPolicy::LeftColumn;
+    return cfg;
+}
+
+} // namespace lisa::arch

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Parametric 2-D mesh CGRA model (Fig 1 of the paper).
+ *
+ * Covers all five CGRA variants evaluated in the paper: 3x3 / 4x4 / 8x8
+ * baselines (4 registers per PE, all PEs memory-capable), the
+ * less-routing-resources variant (1 register per PE), and the
+ * less-memory-connectivity variant (only the left-most column may issue
+ * loads/stores).
+ */
+
+#ifndef LISA_ARCH_CGRA_HH
+#define LISA_ARCH_CGRA_HH
+
+#include "arch/accelerator.hh"
+
+namespace lisa::arch {
+
+/** Which PEs may execute Load/Store operations. */
+enum class MemPolicy
+{
+    AllPes,     ///< every PE has a memory port (baseline)
+    LeftColumn, ///< only column 0 (less-memory-connectivity variant)
+};
+
+/** Configuration of a mesh CGRA. */
+struct CgraConfig
+{
+    int rows = 4;
+    int cols = 4;
+    int registersPerPe = 4;
+    MemPolicy memPolicy = MemPolicy::AllPes;
+    /** Configuration-memory entries per PE: the maximum II. */
+    int configDepth = 24;
+};
+
+/**
+ * 2-D mesh CGRA: every PE links to its 4 neighbours; all PEs execute all
+ * compute ops; memory ops follow the MemPolicy.
+ */
+class CgraArch : public Accelerator
+{
+  public:
+    explicit CgraArch(const CgraConfig &config);
+
+    const CgraConfig &config() const { return cfg; }
+
+    int registersPerPe() const override { return cfg.registersPerPe; }
+    bool supportsOp(int pe, dfg::OpCode op) const override;
+    bool temporalMapping() const override { return true; }
+    int maxIi() const override { return cfg.configDepth; }
+
+  private:
+    static std::string makeName(const CgraConfig &config);
+    static std::vector<PeCoord> makeCoords(const CgraConfig &config);
+
+    CgraConfig cfg;
+};
+
+/** 4x4 / 3x3 / 8x8 baseline factory (4 regs/PE, all-PE memory). */
+CgraConfig baselineCgra(int rows, int cols);
+
+/** 4x4 variant with one register per PE (less routing resources). */
+CgraConfig lessRoutingCgra();
+
+/** 4x4 variant with left-column-only memory access. */
+CgraConfig lessMemoryCgra();
+
+} // namespace lisa::arch
+
+#endif // LISA_ARCH_CGRA_HH

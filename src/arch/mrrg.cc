@@ -1,0 +1,116 @@
+#include "arch/mrrg.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace lisa::arch {
+
+Mrrg::Mrrg(const Accelerator &accel, int ii)
+    : arch(&accel), numLayers(ii), regsPerPe(accel.registersPerPe())
+{
+    if (!accel.temporalMapping() && ii != 1)
+        fatal("spatial-only accelerator requires II == 1");
+    if (ii < 1 || ii > accel.maxIi())
+        fatal("II ", ii, " outside [1, ", accel.maxIi(), "] for ",
+              accel.name());
+
+    const int pes = accel.numPes();
+    perLayer = pes * (1 + regsPerPe);
+    resources.resize(static_cast<size_t>(perLayer) * numLayers);
+
+    for (int t = 0; t < numLayers; ++t) {
+        for (int pe = 0; pe < pes; ++pe) {
+            Resource &fu = resources[fuId(pe, t)];
+            fu.kind = ResourceKind::Fu;
+            fu.pe = pe;
+            fu.reg = -1;
+            fu.time = t;
+            for (int k = 0; k < regsPerPe; ++k) {
+                Resource &rg = resources[regId(pe, k, t)];
+                rg.kind = ResourceKind::Reg;
+                rg.pe = pe;
+                rg.reg = k;
+                rg.time = t;
+            }
+        }
+    }
+
+    // Move edges: advance one cycle (same layer for spatial-only archs,
+    // since their PEs hold a role for the whole run).
+    const bool temporal = accel.temporalMapping();
+    for (int t = 0; t < numLayers; ++t) {
+        const int next = temporal ? (t + 1) % numLayers : t;
+        for (int pe = 0; pe < pes; ++pe) {
+            auto connect = [&](Resource &res) {
+                for (int dst : accel.linkTargets(pe)) {
+                    int target = fuId(dst, next);
+                    if (!temporal && target == fuId(pe, t))
+                        continue;
+                    res.moveTargets.push_back(target);
+                }
+                if (temporal) {
+                    for (int k = 0; k < regsPerPe; ++k)
+                        res.moveTargets.push_back(regId(pe, k, next));
+                }
+            };
+            connect(resources[fuId(pe, t)]);
+            for (int k = 0; k < regsPerPe; ++k)
+                connect(resources[regId(pe, k, t)]);
+        }
+    }
+
+    // Feeder table: resources readable by an op at FU(pe, t).
+    feederTable.resize(static_cast<size_t>(numLayers) * pes);
+    for (int t = 0; t < numLayers; ++t) {
+        const int from = temporal ? (t - 1 + numLayers) % numLayers : t;
+        for (int pe = 0; pe < pes; ++pe) {
+            auto &list = feederTable[static_cast<size_t>(t) * pes + pe];
+            auto add_pe = [&](int src) {
+                list.push_back(fuId(src, from));
+                for (int k = 0; k < regsPerPe; ++k)
+                    list.push_back(regId(src, k, from));
+            };
+            if (temporal)
+                add_pe(pe); // a PE reads its own previous-cycle output
+            for (int src : accel.linkSources(pe))
+                add_pe(src);
+        }
+    }
+}
+
+int
+Mrrg::layerOf(int time) const
+{
+    int layer = time % numLayers;
+    return layer < 0 ? layer + numLayers : layer;
+}
+
+int
+Mrrg::fuId(int pe, int time) const
+{
+    return layerOf(time) * perLayer + pe;
+}
+
+int
+Mrrg::regId(int pe, int reg, int time) const
+{
+    const int pes = arch->numPes();
+    return layerOf(time) * perLayer + pes + pe * regsPerPe + reg;
+}
+
+const std::vector<int> &
+Mrrg::feeders(int pe, int time) const
+{
+    return feederTable[static_cast<size_t>(layerOf(time)) * arch->numPes() +
+                       pe];
+}
+
+bool
+Mrrg::canFeed(int holder, int pe, int time) const
+{
+    const auto &list = feeders(pe, time);
+    return std::find(list.begin(), list.end(), holder) != list.end();
+}
+
+} // namespace lisa::arch

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Modulo Routing Resource Graph (MRRG).
+ *
+ * For a target initiation interval II, accelerator resources are replicated
+ * across II time layers with wraparound. Resource nodes are:
+ *  - FU(pe, t):     executes one operation OR forwards one value per cycle;
+ *  - REG(pe, k, t): holds one value for one cycle inside PE pe.
+ *
+ * A value resident on resource (pe, t) can move in one cycle to a linked
+ * PE's FU at layer (t+1) mod II (route-through) or into one of its own
+ * registers at (t+1) mod II. An operation executing at FU(pc, tc) reads
+ * values resident at layer (tc-1) mod II on pc itself or on a PE with a
+ * link into pc.
+ *
+ * For spatial-only architectures (Accelerator::temporalMapping() == false)
+ * the MRRG has a single layer, moves stay inside it, and feeders are the
+ * linked PEs of the same layer.
+ */
+
+#ifndef LISA_ARCH_MRRG_HH
+#define LISA_ARCH_MRRG_HH
+
+#include <vector>
+
+#include "arch/accelerator.hh"
+
+namespace lisa::arch {
+
+/** Kind of a routing resource. */
+enum class ResourceKind : uint8_t
+{
+    Fu,
+    Reg,
+};
+
+/** One time-replicated hardware resource. */
+struct Resource
+{
+    ResourceKind kind = ResourceKind::Fu;
+    int pe = 0;
+    int reg = -1; ///< register index, -1 for FU resources
+    int time = 0; ///< layer in [0, II)
+    /** Resource ids a resident value can move to in one cycle. */
+    std::vector<int> moveTargets;
+};
+
+/** Time-replicated resource graph for one (accelerator, II) pair. */
+class Mrrg
+{
+  public:
+    /**
+     * Build the MRRG. @p ii must be 1 for spatial-only accelerators and
+     * within [1, accel.maxIi()] otherwise.
+     */
+    Mrrg(const Accelerator &accel, int ii);
+
+    const Accelerator &accel() const { return *arch; }
+    int ii() const { return numLayers; }
+
+    int numResources() const { return static_cast<int>(resources.size()); }
+    const Resource &resource(int id) const { return resources[id]; }
+
+    /**
+     * Resources are stored layer-major: id = layer * perLayerCount() +
+     * index-within-layer. The router exploits this to keep per-step state
+     * compact.
+     */
+    int perLayerCount() const { return perLayer; }
+
+    /** Layer (time slot) of resource @p id. */
+    int layerOfResource(int id) const { return id / perLayer; }
+
+    /** Index of resource @p id within its layer. */
+    int indexInLayer(int id) const { return id % perLayer; }
+
+    /** FU resource id for @p pe at layer @p time (time taken mod II). */
+    int fuId(int pe, int time) const;
+
+    /** Register resource id for (@p pe, @p reg) at layer @p time. */
+    int regId(int pe, int reg, int time) const;
+
+    /**
+     * Resources whose resident value is readable by an operation executing
+     * at FU(@p pe, @p time): same-PE and linked-PE resources at the
+     * previous layer (same layer for spatial-only architectures).
+     */
+    const std::vector<int> &feeders(int pe, int time) const;
+
+    /** True when @p holder can directly feed an op at FU(pe, time). */
+    bool canFeed(int holder, int pe, int time) const;
+
+  private:
+    int layerOf(int time) const;
+
+    const Accelerator *arch;
+    int numLayers;
+    int perLayer; ///< resources per layer
+    int regsPerPe;
+    std::vector<Resource> resources;
+    /** feederTable[layer * numPes + pe] = feeder resource ids. */
+    std::vector<std::vector<int>> feederTable;
+};
+
+} // namespace lisa::arch
+
+#endif // LISA_ARCH_MRRG_HH

@@ -1,0 +1,68 @@
+#include "arch/systolic.hh"
+
+#include <string>
+
+#include "support/logging.hh"
+
+namespace lisa::arch {
+
+namespace {
+
+std::vector<PeCoord>
+gridCoords(int rows, int cols)
+{
+    std::vector<PeCoord> coords;
+    coords.reserve(static_cast<size_t>(rows) * cols);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            coords.push_back(PeCoord{r, c});
+    return coords;
+}
+
+} // namespace
+
+SystolicArch::SystolicArch(int rows_, int cols_)
+    : Accelerator("systolic" + std::to_string(rows_) + "x" +
+                      std::to_string(cols_),
+                  gridCoords(rows_, cols_)),
+      rows(rows_), cols(cols_)
+{
+    if (rows < 1 || cols < 3)
+        fatal("systolic array needs >= 3 columns (load/compute/store)");
+
+    auto pe_at = [&](int r, int c) { return r * cols + c; };
+    std::vector<std::vector<int>> links(numPes());
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            auto &out = links[pe_at(r, c)];
+            if (c + 1 < cols)
+                out.push_back(pe_at(r, c + 1)); // east
+            if (r > 0)
+                out.push_back(pe_at(r - 1, c)); // north
+            if (r + 1 < rows)
+                out.push_back(pe_at(r + 1, c)); // south
+        }
+    }
+    setLinks(std::move(links));
+}
+
+bool
+SystolicArch::supportsOp(int pe, dfg::OpCode op) const
+{
+    const int col = peCoord(pe).col;
+    switch (op) {
+      case dfg::OpCode::Load:
+      case dfg::OpCode::Const:
+        return col == 0;
+      case dfg::OpCode::Store:
+        return col == cols - 1;
+      case dfg::OpCode::Mul:
+      case dfg::OpCode::Add:
+      case dfg::OpCode::Sub:
+        return col > 0 && col < cols - 1;
+      default:
+        return false; // Revel-style units only multiply/add
+    }
+}
+
+} // namespace lisa::arch

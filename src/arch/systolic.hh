@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Systolic-array model (Fig 3 of the paper; compute units similar to the
+ * Revel basic unit).
+ *
+ * Column 0 PEs load inputs, the right-most column stores outputs, and the
+ * inner PEs execute multiply or add. Each PE keeps one role (one operation
+ * or one forwarded value) for the entire run, so mapping is purely spatial:
+ * there is no II and no register time-multiplexing. Links run east, north,
+ * and south (no west), reflecting the left-to-right wavefront.
+ */
+
+#ifndef LISA_ARCH_SYSTOLIC_HH
+#define LISA_ARCH_SYSTOLIC_HH
+
+#include "arch/accelerator.hh"
+
+namespace lisa::arch {
+
+/** NxM systolic array with load / compute / store columns. */
+class SystolicArch : public Accelerator
+{
+  public:
+    SystolicArch(int rows, int cols);
+
+    int registersPerPe() const override { return 0; }
+    bool supportsOp(int pe, dfg::OpCode op) const override;
+    bool temporalMapping() const override { return false; }
+    int maxIi() const override { return 1; }
+
+  private:
+    int rows;
+    int cols;
+};
+
+} // namespace lisa::arch
+
+#endif // LISA_ARCH_SYSTOLIC_HH

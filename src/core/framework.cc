@@ -1,0 +1,153 @@
+#include "core/framework.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "nn/serialize.hh"
+#include "support/logging.hh"
+
+namespace lisa::core {
+
+LisaFramework::LisaFramework(const arch::Accelerator &accel,
+                             FrameworkConfig config)
+    : arch(&accel), cfg(std::move(config)), rng(cfg.seed)
+{
+    nets = std::make_unique<gnn::LabelModels>(rng);
+}
+
+LisaFramework::~LisaFramework() = default;
+
+gnn::LabelModels &
+LisaFramework::models()
+{
+    return *nets;
+}
+
+std::string
+LisaFramework::cachePath(const std::string &suffix) const
+{
+    return cfg.cacheDir + "/" + arch->name() + "." + suffix;
+}
+
+bool
+LisaFramework::loadFromCache()
+{
+    if (cfg.cacheDir.empty())
+        return false;
+    if (!nn::loadModuleFile(nets->scheduleOrder, cachePath("label1")) ||
+        !nn::loadModuleFile(nets->association, cachePath("label2")) ||
+        !nn::loadModuleFile(nets->spatialDist, cachePath("label3")) ||
+        !nn::loadModuleFile(nets->temporalDist, cachePath("label4"))) {
+        return false;
+    }
+    std::ifstream meta(cachePath("meta"));
+    if (!meta)
+        return false;
+    accuracies.assign(4, 0.0);
+    for (double &a : accuracies)
+        if (!(meta >> a))
+            return false;
+    return true;
+}
+
+void
+LisaFramework::saveToCache() const
+{
+    if (cfg.cacheDir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(cfg.cacheDir, ec);
+    if (ec) {
+        warn("cannot create model cache dir '", cfg.cacheDir, "': ",
+             ec.message());
+        return;
+    }
+    nn::saveModuleFile(nets->scheduleOrder, "label1", cachePath("label1"));
+    nn::saveModuleFile(nets->association, "label2", cachePath("label2"));
+    nn::saveModuleFile(nets->spatialDist, "label3", cachePath("label3"));
+    nn::saveModuleFile(nets->temporalDist, "label4", cachePath("label4"));
+    std::ofstream meta(cachePath("meta"));
+    for (double a : accuracies)
+        meta << a << '\n';
+}
+
+void
+LisaFramework::prepare()
+{
+    if (ready)
+        return;
+    if (loadFromCache()) {
+        inform("loaded cached models for ", arch->name());
+        ready = true;
+        return;
+    }
+
+    inform("generating training data for ", arch->name());
+    auto samples = generateTrainingSet(*arch, cfg.trainingData, rng);
+    if (samples.empty())
+        fatal("no training samples survived the filter for ", arch->name());
+
+    // Held-out split for the Table II accuracy numbers.
+    rng.shuffle(samples);
+    size_t test_count = static_cast<size_t>(
+        static_cast<double>(samples.size()) * cfg.testFraction);
+    test_count = std::min(test_count, samples.size() - 1);
+    std::vector<gnn::LabeledSample> test(
+        samples.end() - static_cast<long>(test_count), samples.end());
+    samples.resize(samples.size() - test_count);
+
+    inform("training label models on ", samples.size(), " graphs (",
+           test.size(), " held out)");
+    gnn::trainAll(*nets, samples, cfg.training);
+    accuracies = gnn::evaluateAccuracy(*nets, test.empty() ? samples : test);
+
+    saveToCache();
+    ready = true;
+}
+
+Labels
+LisaFramework::predictLabels(const dfg::Dfg &dfg,
+                             const dfg::Analysis &analysis) const
+{
+    if (!ready)
+        panic("predictLabels: call prepare() first");
+
+    gnn::GraphAttributes attrs = gnn::computeAttributes(dfg, analysis);
+    Labels labels;
+
+    nn::Tensor order = nets->scheduleOrder.forward(attrs);
+    for (int v = 0; v < order.rows(); ++v)
+        labels.scheduleOrder.push_back(order.at(v, 0));
+
+    if (!analysis.sameLevelPairs().empty()) {
+        nn::Tensor assoc = nets->association.forward(attrs);
+        for (int i = 0; i < assoc.rows(); ++i)
+            labels.association.push_back(std::max(0.0, assoc.at(i, 0)));
+    }
+
+    if (dfg.numEdges() > 0) {
+        nn::Tensor spatial = nets->spatialDist.forward(attrs);
+        nn::Tensor temporal = nets->temporalDist.forward(attrs);
+        for (size_t e = 0; e < dfg.numEdges(); ++e) {
+            labels.spatialDist.push_back(
+                std::max(0.0, spatial.at(static_cast<int>(e), 0)));
+            labels.temporalDist.push_back(
+                std::max(1.0, temporal.at(static_cast<int>(e), 0)));
+        }
+    }
+    return labels;
+}
+
+map::SearchResult
+LisaFramework::compile(const dfg::Dfg &dfg,
+                       const map::SearchOptions &options) const
+{
+    if (!ready)
+        panic("compile: call prepare() first");
+    dfg::Analysis analysis(dfg);
+    LisaMapper mapper(predictLabels(dfg, analysis), cfg.mapper);
+    return map::searchMinIi(mapper, dfg, *arch, options);
+}
+
+} // namespace lisa::core

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * LisaFramework — the end-to-end portable compiler (Fig 2 of the paper).
+ *
+ * For a target accelerator, prepare() either loads cached GNN models or
+ * runs the one-off pipeline: synthesize DFGs, refine labels iteratively,
+ * train the four label networks, measure held-out accuracy (Table II), and
+ * cache everything on disk. compile() then maps any new DFG: the trained
+ * GNNs predict its labels and the label-aware SA searches the minimum II.
+ */
+
+#ifndef LISA_CORE_FRAMEWORK_HH
+#define LISA_CORE_FRAMEWORK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/lisa_mapper.hh"
+#include "core/training_data.hh"
+#include "gnn/accuracy.hh"
+#include "mapping/ii_search.hh"
+
+namespace lisa::core {
+
+/** Framework-level configuration. */
+struct FrameworkConfig
+{
+    TrainingDataConfig trainingData;
+    gnn::TrainConfig training;
+    /** Held-out fraction for the Table II accuracy numbers. */
+    double testFraction = 0.15;
+    /** Directory for cached models ("" disables caching). */
+    std::string cacheDir = "lisa_models";
+    uint64_t seed = 7;
+    LisaConfig mapper;
+};
+
+/** Portable compiler instance for one accelerator. */
+class LisaFramework
+{
+  public:
+    LisaFramework(const arch::Accelerator &accel,
+                  FrameworkConfig config = {});
+    ~LisaFramework();
+
+    /** Train or load the label models; idempotent. */
+    void prepare();
+
+    bool isPrepared() const { return ready; }
+
+    const arch::Accelerator &accel() const { return *arch; }
+
+    /** Predict the four labels of a DFG with the trained GNNs. */
+    Labels predictLabels(const dfg::Dfg &dfg,
+                         const dfg::Analysis &analysis) const;
+
+    /** Map a DFG: GNN label prediction + label-aware SA + II sweep. */
+    map::SearchResult compile(const dfg::Dfg &dfg,
+                              const map::SearchOptions &options) const;
+
+    /** Held-out accuracy per label (1..4), available after prepare(). */
+    const std::vector<double> &labelAccuracy() const { return accuracies; }
+
+    /** Access to the trained models (after prepare()). */
+    gnn::LabelModels &models();
+
+  private:
+    std::string cachePath(const std::string &suffix) const;
+    bool loadFromCache();
+    void saveToCache() const;
+
+    const arch::Accelerator *arch;
+    FrameworkConfig cfg;
+    mutable Rng rng;
+    std::unique_ptr<gnn::LabelModels> nets;
+    std::vector<double> accuracies;
+    bool ready = false;
+};
+
+} // namespace lisa::core
+
+#endif // LISA_CORE_FRAMEWORK_HH

@@ -1,0 +1,74 @@
+#include "core/label_extract.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace lisa::core {
+
+Labels
+extractLabels(const map::Mapping &mapping, const dfg::Analysis &analysis)
+{
+    if (!mapping.valid())
+        panic("extractLabels: mapping is not valid");
+
+    const auto &dfg = mapping.dfg();
+    const auto &accel = mapping.mrrg().accel();
+    const bool temporal = accel.temporalMapping();
+    const int ii = mapping.mrrg().ii();
+    Labels labels;
+
+    // Label 1: execution times normalized to [0, critical path length - 1]
+    // so the scale matches the ASAP initialization.
+    int t_min = 0, t_max = 0;
+    bool first = true;
+    for (size_t v = 0; v < dfg.numNodes(); ++v) {
+        int t = mapping.placement(static_cast<dfg::NodeId>(v)).time;
+        t_min = first ? t : std::min(t_min, t);
+        t_max = first ? t : std::max(t_max, t);
+        first = false;
+    }
+    const int span = t_max - t_min;
+    const double scale =
+        span > 0 ? static_cast<double>(analysis.criticalPathLength() - 1) /
+                       span
+                 : 0.0;
+    labels.scheduleOrder.resize(dfg.numNodes());
+    for (size_t v = 0; v < dfg.numNodes(); ++v) {
+        int t = mapping.placement(static_cast<dfg::NodeId>(v)).time;
+        labels.scheduleOrder[v] = (t - t_min) * scale;
+    }
+
+    // Label 2: Manhattan distance between the placed same-level pairs.
+    for (const dfg::SameLevelPair &pair : analysis.sameLevelPairs()) {
+        labels.association.push_back(
+            accel.spatialDistance(mapping.placement(pair.a).pe,
+                                  mapping.placement(pair.b).pe));
+    }
+
+    // Labels 3 and 4 per edge.
+    labels.spatialDist.resize(dfg.numEdges());
+    labels.temporalDist.resize(dfg.numEdges());
+    for (size_t e = 0; e < dfg.numEdges(); ++e) {
+        const dfg::Edge &edge = dfg.edge(static_cast<dfg::EdgeId>(e));
+        const auto &src = mapping.placement(edge.src);
+        const auto &dst = mapping.placement(edge.dst);
+        labels.spatialDist[e] = accel.spatialDistance(src.pe, dst.pe);
+        if (temporal) {
+            labels.temporalDist[e] =
+                dst.time + edge.iterDistance * ii - src.time;
+        } else {
+            labels.temporalDist[e] = static_cast<double>(
+                mapping.route(static_cast<dfg::EdgeId>(e)).size() + 1);
+        }
+    }
+    return labels;
+}
+
+int
+routingCost(const map::Mapping &mapping)
+{
+    return mapping.totalRouteResources();
+}
+
+} // namespace lisa::core

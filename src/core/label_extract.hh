@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Extraction of label values from a concrete valid mapping (Section V-B):
+ * the schedule order from normalized node execution times, the spatial
+ * distances from PE coordinates (Manhattan on meshes), and the temporal
+ * distances from the schedule-time gaps (route hops on spatial-only
+ * architectures).
+ */
+
+#ifndef LISA_CORE_LABEL_EXTRACT_HH
+#define LISA_CORE_LABEL_EXTRACT_HH
+
+#include "core/labels.hh"
+
+namespace lisa::core {
+
+/** Extract labels from @p mapping, which must be valid. */
+Labels extractLabels(const map::Mapping &mapping,
+                     const dfg::Analysis &analysis);
+
+/** Routing-resource cost of a mapping (label-quality tiebreak). */
+int routingCost(const map::Mapping &mapping);
+
+} // namespace lisa::core
+
+#endif // LISA_CORE_LABEL_EXTRACT_HH

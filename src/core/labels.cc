@@ -1,0 +1,79 @@
+#include "core/labels.hh"
+
+#include "support/logging.hh"
+
+namespace lisa::core {
+
+bool
+Labels::matches(const dfg::Dfg &dfg, const dfg::Analysis &analysis) const
+{
+    return scheduleOrder.size() == dfg.numNodes() &&
+           association.size() == analysis.sameLevelPairs().size() &&
+           spatialDist.size() == dfg.numEdges() &&
+           temporalDist.size() == dfg.numEdges();
+}
+
+Labels
+initialLabels(const dfg::Dfg &dfg, const dfg::Analysis &analysis)
+{
+    Labels labels;
+    labels.scheduleOrder.resize(dfg.numNodes());
+    for (size_t v = 0; v < dfg.numNodes(); ++v)
+        labels.scheduleOrder[v] =
+            analysis.asap(static_cast<dfg::NodeId>(v));
+
+    for (const dfg::SameLevelPair &pair : analysis.sameLevelPairs()) {
+        double sum = 0.0;
+        int terms = 0;
+        if (pair.hasAncestor()) {
+            sum += 0.5 * (pair.ancDistA + pair.ancDistB);
+            ++terms;
+        }
+        if (pair.hasDescendant()) {
+            sum += 0.5 * (pair.descDistA + pair.descDistB);
+            ++terms;
+        }
+        labels.association.push_back(terms ? sum / terms : 0.0);
+    }
+
+    labels.spatialDist.assign(dfg.numEdges(), 0.0);
+    labels.temporalDist.assign(dfg.numEdges(), 1.0);
+    return labels;
+}
+
+Labels
+averageLabels(const std::vector<Labels> &sets)
+{
+    if (sets.empty())
+        panic("averageLabels: empty candidate set");
+    Labels out = sets[0];
+    for (size_t s = 1; s < sets.size(); ++s) {
+        const Labels &l = sets[s];
+        if (l.scheduleOrder.size() != out.scheduleOrder.size() ||
+            l.association.size() != out.association.size() ||
+            l.spatialDist.size() != out.spatialDist.size() ||
+            l.temporalDist.size() != out.temporalDist.size()) {
+            panic("averageLabels: arity mismatch between candidates");
+        }
+        for (size_t i = 0; i < out.scheduleOrder.size(); ++i)
+            out.scheduleOrder[i] += l.scheduleOrder[i];
+        for (size_t i = 0; i < out.association.size(); ++i)
+            out.association[i] += l.association[i];
+        for (size_t i = 0; i < out.spatialDist.size(); ++i)
+            out.spatialDist[i] += l.spatialDist[i];
+        for (size_t i = 0; i < out.temporalDist.size(); ++i)
+            out.temporalDist[i] += l.temporalDist[i];
+    }
+    const double n = static_cast<double>(sets.size());
+    for (double &v : out.scheduleOrder)
+        v /= n;
+    for (double &v : out.association)
+        v /= n;
+    for (double &v : out.spatialDist)
+        v /= n;
+    for (double &v : out.temporalDist)
+        v /= n;
+    return out;
+}
+
+} // namespace lisa::core

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The four DFG labels (Table I of the paper) and their initialization.
+ *
+ * Labels describe how nodes and edges *should* be mapped on a particular
+ * accelerator: the schedule order of each node, the expected spatial
+ * distance between same-level node pairs, and the expected spatial and
+ * temporal distances each edge will span. The label-aware mapper consumes
+ * them; the GNN models predict them; the iterative training pipeline
+ * extracts them from concrete mappings.
+ */
+
+#ifndef LISA_CORE_LABELS_HH
+#define LISA_CORE_LABELS_HH
+
+#include <vector>
+
+#include "dfg/analysis.hh"
+#include "mapping/mapping.hh"
+
+namespace lisa::core {
+
+/** Per-DFG label values for one accelerator. */
+struct Labels
+{
+    /** Label 1: schedule order, one per node (lower = earlier). */
+    std::vector<double> scheduleOrder;
+    /** Label 2: same-level association, aligned with
+     *  Analysis::sameLevelPairs(). */
+    std::vector<double> association;
+    /** Label 3: spatial mapping distance, one per edge. */
+    std::vector<double> spatialDist;
+    /** Label 4: temporal mapping distance, one per edge. */
+    std::vector<double> temporalDist;
+
+    /** Arity check against a DFG/analysis pair. */
+    bool matches(const dfg::Dfg &dfg, const dfg::Analysis &analysis) const;
+};
+
+/**
+ * Paper's initial labels (Section V-B): schedule order = ASAP; association
+ * = average shortest distance to the common ancestor/descendant; spatial
+ * distance = 0; temporal distance = 1.
+ */
+Labels initialLabels(const dfg::Dfg &dfg, const dfg::Analysis &analysis);
+
+/** Elementwise average of several label sets (candidate combination). */
+Labels averageLabels(const std::vector<Labels> &sets);
+
+} // namespace lisa::core
+
+#endif // LISA_CORE_LABELS_HH

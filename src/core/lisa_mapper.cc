@@ -1,0 +1,336 @@
+#include "core/lisa_mapper.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "mappers/placement_util.hh"
+#include "support/logging.hh"
+#include "support/stopwatch.hh"
+
+namespace lisa::core {
+
+LisaMapper::LisaMapper(Labels labels, LisaConfig config)
+    : lbls(std::move(labels)), cfg(config)
+{
+}
+
+std::string
+LisaMapper::name() const
+{
+    return cfg.labelsOnlyForInit ? "LISA-partial" : "LISA";
+}
+
+std::vector<dfg::NodeId>
+LisaMapper::selectUnmapSet(const map::Mapping &mapping, Rng &rng) const
+{
+    const auto &dfg = mapping.dfg();
+    std::unordered_set<dfg::NodeId> chosen;
+
+    // Nodes touching failures: endpoints of un-routed edges and producers
+    // involved in overused resources.
+    std::vector<dfg::NodeId> conflicts;
+    for (dfg::EdgeId e = 0; e < static_cast<dfg::EdgeId>(dfg.numEdges());
+         ++e) {
+        if (!mapping.isRouted(e)) {
+            conflicts.push_back(dfg.edge(e).src);
+            conflicts.push_back(dfg.edge(e).dst);
+        }
+    }
+    for (int res = 0; res < mapping.mrrg().numResources(); ++res) {
+        if (mapping.resourceOveruse(res) > 0) {
+            for (dfg::NodeId v : mapping.valuesOn(res))
+                conflicts.push_back(v);
+        }
+    }
+    rng.shuffle(conflicts);
+    for (dfg::NodeId v : conflicts) {
+        if (static_cast<int>(chosen.size()) >= cfg.maxConflictUnmaps)
+            break;
+        chosen.insert(v);
+    }
+
+    for (int i = 0; i < cfg.extraUnmaps; ++i)
+        chosen.insert(static_cast<dfg::NodeId>(rng.index(dfg.numNodes())));
+    if (chosen.empty())
+        chosen.insert(static_cast<dfg::NodeId>(rng.index(dfg.numNodes())));
+
+    return {chosen.begin(), chosen.end()};
+}
+
+bool
+LisaMapper::placeNodeByLabels(const map::MapContext &ctx,
+                              map::Mapping &mapping, dfg::NodeId v,
+                              double sigma, bool use_labels) const
+{
+    const auto &accel = mapping.mrrg().accel();
+    const auto &dfg = ctx.dfg;
+    const bool temporal = accel.temporalMapping();
+    const int ii = mapping.mrrg().ii();
+
+    auto capable = accel.opCapablePes(dfg.node(v).op);
+    if (capable.empty())
+        return false;
+
+    // Candidate schedule times.
+    std::vector<int> times;
+    if (!temporal) {
+        times.push_back(0);
+    } else {
+        map::TimeWindow w = feasibleWindow(mapping, ctx.analysis, v);
+        if (!w.valid()) {
+            // Dependencies cannot all be satisfied; fall back to an
+            // ASAP-anchored window and let the router penalties drive the
+            // next unmap selection toward the conflict.
+            w.lo = std::min(ctx.analysis.asap(v), mapping.horizon() - 1);
+            w.hi = w.lo;
+        }
+        const int hi = std::min(w.hi, w.lo + ii + 2);
+        for (int t = w.lo; t <= hi; ++t)
+            times.push_back(t);
+    }
+
+    // Same-level partners of v with their pair index.
+    const auto &pairs = ctx.analysis.sameLevelPairs();
+    std::vector<std::pair<size_t, dfg::NodeId>> partners;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+        if (pairs[i].a == v)
+            partners.emplace_back(i, pairs[i].b);
+        else if (pairs[i].b == v)
+            partners.emplace_back(i, pairs[i].a);
+    }
+
+    struct Candidate
+    {
+        int pe;
+        int time;
+        double cost;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(capable.size() * times.size());
+
+    for (int pe : capable) {
+        for (int t : times) {
+            double cost;
+            if (!use_labels) {
+                cost = ctx.rng.uniform(); // random ranking (partial mode)
+            } else {
+                cost = 0.0;
+                // Labels 3 and 4: distance mismatch to placed neighbours.
+                for (dfg::EdgeId e : dfg.inEdges(v)) {
+                    const dfg::Edge &edge = dfg.edge(e);
+                    if (edge.src == v || !mapping.isPlaced(edge.src))
+                        continue;
+                    const auto &pu = mapping.placement(edge.src);
+                    cost += cfg.spatialWeight *
+                            std::abs(accel.spatialDistance(pu.pe, pe) -
+                                     lbls.spatialDist[e]);
+                    if (temporal) {
+                        double td = t + edge.iterDistance * ii - pu.time;
+                        cost += cfg.temporalWeight *
+                                std::abs(td - lbls.temporalDist[e]);
+                    }
+                }
+                for (dfg::EdgeId e : dfg.outEdges(v)) {
+                    const dfg::Edge &edge = dfg.edge(e);
+                    if (edge.dst == v || !mapping.isPlaced(edge.dst))
+                        continue;
+                    const auto &pw = mapping.placement(edge.dst);
+                    cost += cfg.spatialWeight *
+                            std::abs(accel.spatialDistance(pe, pw.pe) -
+                                     lbls.spatialDist[e]);
+                    if (temporal) {
+                        double td = pw.time + edge.iterDistance * ii - t;
+                        cost += cfg.temporalWeight *
+                                std::abs(td - lbls.temporalDist[e]);
+                    }
+                }
+                // Label 2: same-level association.
+                for (auto [idx, other] : partners) {
+                    if (!mapping.isPlaced(other))
+                        continue;
+                    int d = accel.spatialDistance(
+                        mapping.placement(other).pe, pe);
+                    cost += cfg.associationWeight *
+                            std::abs(d - lbls.association[idx]);
+                }
+                // Penalise already-occupied FUs.
+                cost += cfg.occupiedPenalty *
+                        mapping.numInstancesOn(mapping.mrrg().fuId(pe, t));
+            }
+            candidates.push_back(Candidate{pe, t, cost});
+        }
+    }
+
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate &a, const Candidate &b) {
+                         return a.cost < b.cost;
+                     });
+
+    // Normal-distribution selection over the ranking (Algorithm 1, lines
+    // 7-8): lower-cost candidates are more likely, sigma controls spread.
+    size_t idx = static_cast<size_t>(
+        std::floor(std::abs(ctx.rng.normal(0.0, sigma))));
+    idx = std::min(idx, candidates.size() - 1);
+
+    mapping.placeNode(v, candidates[idx].pe, candidates[idx].time);
+    return true;
+}
+
+void
+LisaMapper::routeByPriority(map::Mapping &mapping) const
+{
+    const auto &dfg = mapping.dfg();
+    std::vector<dfg::EdgeId> order;
+    for (dfg::EdgeId e = 0; e < static_cast<dfg::EdgeId>(dfg.numEdges());
+         ++e) {
+        if (!mapping.isRouted(e))
+            order.push_back(e);
+    }
+    // Edges predicted to need more routing resources are routed first
+    // (Algorithm 1, line 9).
+    std::stable_sort(order.begin(), order.end(),
+                     [&](dfg::EdgeId a, dfg::EdgeId b) {
+                         return lbls.temporalDist[a] > lbls.temporalDist[b];
+                     });
+    map::routeAll(mapping, cfg.routerCosts, order);
+}
+
+std::optional<map::Mapping>
+LisaMapper::tryMap(const map::MapContext &ctx)
+{
+    if (!lbls.matches(ctx.dfg, ctx.analysis))
+        panic("LisaMapper: labels do not match the DFG");
+
+    Stopwatch timer;
+    map::Mapping mapping(ctx.dfg, ctx.mrrg);
+
+    long attempts = 0;
+    long accepted = 0;
+    double temp = cfg.initialTemp;
+
+    // Initial mapping: place everything in schedule-order, then route by
+    // label-4 priority (Algorithm 1 with all nodes unmapped).
+    auto initial_mapping = [&]() -> bool {
+        mapping.clear();
+        std::vector<dfg::NodeId> order;
+        for (size_t v = 0; v < ctx.dfg.numNodes(); ++v)
+            order.push_back(static_cast<dfg::NodeId>(v));
+        std::stable_sort(order.begin(), order.end(),
+                         [&](dfg::NodeId a, dfg::NodeId b) {
+                             return lbls.scheduleOrder[a] <
+                                    lbls.scheduleOrder[b];
+                         });
+        for (dfg::NodeId v : order) {
+            if (!placeNodeByLabels(ctx, mapping, v, 1.0, true))
+                return false; // some op unsupported: unmappable
+        }
+        routeByPriority(mapping);
+        return true;
+    };
+
+    if (!initial_mapping())
+        return std::nullopt;
+    if (mapping.valid())
+        return mapping;
+    double cost = mappingCost(mapping, cfg.costParams);
+    long since_improvement = 0;
+
+    while (timer.seconds() < ctx.timeBudget) {
+        // Periodic restart when the movement loop stops making progress.
+        if (since_improvement > 400) {
+            if (!initial_mapping())
+                return std::nullopt;
+            if (mapping.valid())
+                return mapping;
+            cost = mappingCost(mapping, cfg.costParams);
+            since_improvement = 0;
+            attempts = 0;
+            accepted = 0;
+            temp = cfg.initialTemp;
+        }
+
+        // Unmap one node (Algorithm 1, line 2): strongly biased toward
+        // nodes involved in routing failures and resource conflicts.
+        dfg::NodeId v;
+        if (ctx.rng.chance(0.8)) {
+            auto conflicts = selectUnmapSet(mapping, ctx.rng);
+            v = ctx.rng.pick(conflicts);
+        } else {
+            v = static_cast<dfg::NodeId>(ctx.rng.index(ctx.dfg.numNodes()));
+        }
+
+        // Snapshot for revert.
+        const map::Placement old = mapping.placement(v);
+        std::vector<dfg::EdgeId> affected;
+        for (dfg::EdgeId e : ctx.dfg.inEdges(v))
+            affected.push_back(e);
+        for (dfg::EdgeId e : ctx.dfg.outEdges(v))
+            if (ctx.dfg.edge(e).src != ctx.dfg.edge(e).dst)
+                affected.push_back(e);
+        std::vector<std::pair<dfg::EdgeId, std::vector<int>>> saved;
+        for (dfg::EdgeId e : affected)
+            if (mapping.isRouted(e))
+                saved.emplace_back(e, mapping.route(e));
+
+        for (dfg::EdgeId e : affected)
+            mapping.clearRoute(e);
+        mapping.unplaceNode(v);
+
+        const double sigma =
+            std::max(1.0, cfg.alpha * static_cast<double>(attempts) -
+                              static_cast<double>(accepted));
+        const bool use_labels = !cfg.labelsOnlyForInit;
+        placeNodeByLabels(ctx, mapping, v, sigma, use_labels);
+
+        // Re-route the affected edges, most demanding first (line 9).
+        std::stable_sort(affected.begin(), affected.end(),
+                         [&](dfg::EdgeId a, dfg::EdgeId b) {
+                             return lbls.temporalDist[a] >
+                                    lbls.temporalDist[b];
+                         });
+        for (dfg::EdgeId e : affected) {
+            const dfg::Edge &edge = ctx.dfg.edge(e);
+            if (!mapping.isPlaced(edge.src) || !mapping.isPlaced(edge.dst))
+                continue;
+            auto res = map::routeEdge(mapping, e, cfg.routerCosts);
+            if (res)
+                mapping.setRoute(e, std::move(res->path));
+        }
+
+        if (mapping.valid())
+            return mapping;
+
+        const double new_cost = mappingCost(mapping, cfg.costParams);
+        ++attempts;
+        const bool accept =
+            new_cost <= cost ||
+            ctx.rng.uniform() < std::exp((cost - new_cost) / temp);
+        if (accept) {
+            if (new_cost < cost) {
+                ++accepted;
+                since_improvement = 0;
+            } else {
+                ++since_improvement;
+            }
+            cost = new_cost;
+        } else {
+            ++since_improvement;
+            // Revert the movement.
+            for (dfg::EdgeId e : affected)
+                mapping.clearRoute(e);
+            mapping.unplaceNode(v);
+            mapping.placeNode(v, old.pe, old.time);
+            for (auto &[e, path] : saved)
+                mapping.setRoute(e, path);
+        }
+
+        temp *= cfg.coolRate;
+        if (temp < cfg.minTemp)
+            temp = cfg.minTemp;
+    }
+    return std::nullopt;
+}
+
+} // namespace lisa::core

@@ -1,0 +1,148 @@
+#include "core/training_data.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/label_extract.hh"
+#include "core/lisa_mapper.hh"
+#include "mapping/ii_search.hh"
+#include "support/logging.hh"
+
+namespace lisa::core {
+
+namespace {
+
+/** One refinement candidate: labels plus the quality of their mapping. */
+struct Candidate
+{
+    Labels labels;
+    int ii;
+    int routing;
+};
+
+} // namespace
+
+std::optional<RefinedLabels>
+refineLabels(const dfg::Dfg &dfg, const arch::Accelerator &accel,
+             const TrainingDataConfig &config, Rng &rng)
+{
+    dfg::Analysis analysis(dfg);
+    Labels current = initialLabels(dfg, analysis);
+    std::vector<Candidate> candidates;
+
+    int best_ii = std::numeric_limits<int>::max();
+    int best_routing = std::numeric_limits<int>::max();
+    int mii = 1;
+
+    for (int round = 0; round < config.refinements; ++round) {
+        LisaConfig mapper_cfg;
+        mapper_cfg.labelsOnlyForInit = true;
+        LisaMapper mapper(current, mapper_cfg);
+
+        map::SearchOptions opts;
+        opts.perIiBudget = config.perIiBudget;
+        opts.totalBudget = config.totalBudget;
+        opts.seed = rng.raw()();
+        map::SearchResult result = map::searchMinIi(mapper, dfg, accel, opts);
+        mii = std::max(1, result.mii);
+        if (!result.success)
+            continue; // keep previous labels, try again (SA is random)
+
+        Labels extracted = extractLabels(*result.mapping, analysis);
+        const int routing = routingCost(*result.mapping);
+        candidates.push_back(Candidate{extracted, result.ii, routing});
+
+        // Only adopt labels that improved the mapping (Section V-B).
+        if (result.ii < best_ii ||
+            (result.ii == best_ii && routing < best_routing)) {
+            best_ii = result.ii;
+            best_routing = routing;
+            current = std::move(extracted);
+        }
+    }
+
+    if (candidates.empty())
+        return std::nullopt;
+
+    // Round 1: lowest II only. Round 2: routing cost within the slack of
+    // the cheapest. The final label is the candidates' average.
+    std::vector<Labels> selected;
+    int min_routing = std::numeric_limits<int>::max();
+    for (const Candidate &c : candidates)
+        if (c.ii == best_ii)
+            min_routing = std::min(min_routing, c.routing);
+    for (const Candidate &c : candidates) {
+        if (c.ii == best_ii &&
+            c.routing <= config.routingSlack * min_routing) {
+            selected.push_back(c.labels);
+        }
+    }
+
+    RefinedLabels refined;
+    refined.labels = averageLabels(selected);
+    refined.bestIi = best_ii;
+    refined.mii = mii;
+    refined.candidates = static_cast<int>(selected.size());
+    return refined;
+}
+
+bool
+passesFilter(const RefinedLabels &refined, const TrainingDataConfig &config)
+{
+    // "As long as we get the minimum II for a DFG, only one candidate
+    // label is sufficient."
+    if (refined.bestIi == refined.mii)
+        return true;
+    const double closeness =
+        static_cast<double>(refined.mii) / refined.bestIi;
+    const double e = closeness + config.filterSigma * refined.candidates;
+    return e >= config.filterThreshold;
+}
+
+std::vector<gnn::LabeledSample>
+generateTrainingSet(const arch::Accelerator &accel,
+                    const TrainingDataConfig &config, Rng &rng)
+{
+    dfg::GeneratorConfig gen = config.generator;
+    // Spatial-only accelerators can't host DFGs bigger than the PE count
+    // (stores are appended on top of the core budget, and loads compete
+    // for the input column), so stay well below the PE count.
+    if (!accel.temporalMapping()) {
+        gen.maxNodes = std::min(gen.maxNodes, accel.numPes() / 2);
+        gen.minNodes = std::min(gen.minNodes, gen.maxNodes - 2);
+    }
+    gen.computeOps.erase(
+        std::remove_if(gen.computeOps.begin(), gen.computeOps.end(),
+                       [&](dfg::OpCode op) {
+                           return !accel.supportsOpAnywhere(op);
+                       }),
+        gen.computeOps.end());
+    if (gen.computeOps.empty())
+        fatal("generateTrainingSet: accelerator supports no compute ops");
+
+    std::vector<gnn::LabeledSample> samples;
+    size_t kept = 0, dropped = 0;
+    for (size_t i = 0; i < config.numDfgs; ++i) {
+        dfg::Dfg graph = dfg::generateRandomDfg(gen, rng);
+        graph.setName("train" + std::to_string(i));
+        auto refined = refineLabels(graph, accel, config, rng);
+        if (!refined || !passesFilter(*refined, config)) {
+            ++dropped;
+            continue;
+        }
+        ++kept;
+        dfg::Analysis analysis(graph);
+        gnn::LabeledSample sample;
+        sample.attrs = gnn::computeAttributes(graph, analysis);
+        sample.scheduleOrder = refined->labels.scheduleOrder;
+        sample.association = refined->labels.association;
+        sample.spatialDist = refined->labels.spatialDist;
+        sample.temporalDist = refined->labels.temporalDist;
+        samples.push_back(std::move(sample));
+    }
+    inform("training set for ", accel.name(), ": kept ", kept, ", dropped ",
+           dropped);
+    return samples;
+}
+
+} // namespace lisa::core

@@ -1,0 +1,72 @@
+#include "dfg/builder.hh"
+
+#include "support/logging.hh"
+
+namespace lisa::dfg {
+
+DfgBuilder::DfgBuilder(std::string name) : graph(std::move(name)) {}
+
+NodeId
+DfgBuilder::load(std::string name)
+{
+    return graph.addNode(OpCode::Load, std::move(name));
+}
+
+NodeId
+DfgBuilder::constant(std::string name)
+{
+    return graph.addNode(OpCode::Const, std::move(name));
+}
+
+NodeId
+DfgBuilder::op(OpCode opcode, std::initializer_list<NodeId> inputs,
+               std::string name)
+{
+    return op(opcode, std::vector<NodeId>(inputs), std::move(name));
+}
+
+NodeId
+DfgBuilder::op(OpCode opcode, const std::vector<NodeId> &inputs,
+               std::string name)
+{
+    NodeId n = graph.addNode(opcode, std::move(name));
+    for (NodeId in : inputs)
+        graph.addEdge(in, n);
+    return n;
+}
+
+NodeId
+DfgBuilder::store(NodeId value, std::string name)
+{
+    NodeId n = graph.addNode(OpCode::Store, std::move(name));
+    graph.addEdge(value, n);
+    return n;
+}
+
+void
+DfgBuilder::edge(NodeId src, NodeId dst)
+{
+    graph.addEdge(src, dst, 0);
+}
+
+void
+DfgBuilder::recurrence(NodeId src, NodeId dst, int distance)
+{
+    if (distance < 1)
+        fatal("recurrence edges need distance >= 1");
+    graph.addEdge(src, dst, distance);
+}
+
+Dfg
+DfgBuilder::build()
+{
+    if (built)
+        panic("DfgBuilder::build called twice");
+    built = true;
+    std::string reason;
+    if (!graph.validate(&reason))
+        fatal("DFG '", graph.name(), "' invalid: ", reason);
+    return std::move(graph);
+}
+
+} // namespace lisa::dfg

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fluent builder DSL for constructing loop-body DFGs by hand.
+ *
+ * Used by the PolyBench workload definitions and the tests; keeps kernel
+ * definitions close to the source expressions they model, e.g.
+ *
+ * @code
+ *   DfgBuilder b("gemm");
+ *   auto a   = b.load("A[i][k]");
+ *   auto bb  = b.load("B[k][j]");
+ *   auto mul = b.op(OpCode::Mul, {a, bb});
+ *   auto acc = b.op(OpCode::Add, {mul});
+ *   b.recurrence(acc, acc);           // acc += ... across iterations
+ *   b.store(acc, "C[i][j]");
+ *   Dfg g = b.build();
+ * @endcode
+ */
+
+#ifndef LISA_DFG_BUILDER_HH
+#define LISA_DFG_BUILDER_HH
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.hh"
+
+namespace lisa::dfg {
+
+/** Incrementally builds a Dfg; build() validates and returns it. */
+class DfgBuilder
+{
+  public:
+    explicit DfgBuilder(std::string name);
+
+    /** Add a memory load node. */
+    NodeId load(std::string name = "");
+
+    /** Add a constant-producing node. */
+    NodeId constant(std::string name = "");
+
+    /** Add a compute node consuming the listed producers. */
+    NodeId op(OpCode opcode, std::initializer_list<NodeId> inputs,
+              std::string name = "");
+
+    /** Add a compute node consuming the listed producers. */
+    NodeId op(OpCode opcode, const std::vector<NodeId> &inputs,
+              std::string name = "");
+
+    /** Add a store node consuming @p value. */
+    NodeId store(NodeId value, std::string name = "");
+
+    /** Add an explicit intra-iteration edge. */
+    void edge(NodeId src, NodeId dst);
+
+    /** Add a loop-carried edge with the given iteration distance. */
+    void recurrence(NodeId src, NodeId dst, int distance = 1);
+
+    /** Validate and hand over the graph; the builder is then spent. */
+    Dfg build();
+
+  private:
+    Dfg graph;
+    bool built = false;
+};
+
+} // namespace lisa::dfg
+
+#endif // LISA_DFG_BUILDER_HH

@@ -1,0 +1,397 @@
+#include "dfg/expr_parser.hh"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+namespace lisa::dfg {
+
+namespace {
+
+/** Token kinds of the tiny lexer. */
+enum class Tok
+{
+    Ident,    ///< identifier, possibly with an [..] array suffix
+    Number,   ///< integer literal
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Less,
+    Question,
+    Colon,
+    Assign,
+    PlusAssign,
+    LParen,
+    RParen,
+    Semicolon,
+    End,
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;
+    bool isArrayRef = false;
+};
+
+/** Lexer + recursive-descent parser that emits DFG nodes as it goes. */
+class Parser
+{
+  public:
+    Parser(const std::string &source, const std::string &name)
+        : src(source), graph(name)
+    {
+        advance();
+    }
+
+    std::optional<Dfg>
+    run(std::string *error)
+    {
+        while (cur.kind != Tok::End) {
+            if (!statement()) {
+                if (error)
+                    *error = message;
+                return std::nullopt;
+            }
+        }
+        std::string why;
+        if (!graph.validate(&why)) {
+            if (error)
+                *error = "invalid DFG: " + why;
+            return std::nullopt;
+        }
+        return std::move(graph);
+    }
+
+  private:
+    bool
+    fail(const std::string &why)
+    {
+        if (message.empty())
+            message = why;
+        return false;
+    }
+
+    // --- Lexing ---------------------------------------------------------
+
+    void
+    advance()
+    {
+        while (pos < src.size() && std::isspace(
+                                       static_cast<unsigned char>(src[pos])))
+            ++pos;
+        cur = Token{};
+        if (pos >= src.size()) {
+            cur.kind = Tok::End;
+            return;
+        }
+        const char c = src[pos];
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = pos;
+            while (pos < src.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src[pos])) ||
+                    src[pos] == '_'))
+                ++pos;
+            // Greedily absorb array subscripts into the name.
+            bool array = false;
+            while (pos < src.size() && src[pos] == '[') {
+                array = true;
+                int depth = 0;
+                while (pos < src.size()) {
+                    if (src[pos] == '[')
+                        ++depth;
+                    if (src[pos] == ']' && --depth == 0) {
+                        ++pos;
+                        break;
+                    }
+                    ++pos;
+                }
+            }
+            cur.kind = Tok::Ident;
+            cur.text = src.substr(start, pos - start);
+            cur.isArrayRef = array;
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = pos;
+            while (pos < src.size() &&
+                   std::isdigit(static_cast<unsigned char>(src[pos])))
+                ++pos;
+            cur.kind = Tok::Number;
+            cur.text = src.substr(start, pos - start);
+            return;
+        }
+        ++pos;
+        switch (c) {
+          case '+':
+            if (pos < src.size() && src[pos] == '=') {
+                ++pos;
+                cur.kind = Tok::PlusAssign;
+            } else {
+                cur.kind = Tok::Plus;
+            }
+            return;
+          case '-':
+            cur.kind = Tok::Minus;
+            return;
+          case '*':
+            cur.kind = Tok::Star;
+            return;
+          case '/':
+            cur.kind = Tok::Slash;
+            return;
+          case '<':
+            cur.kind = Tok::Less;
+            return;
+          case '?':
+            cur.kind = Tok::Question;
+            return;
+          case ':':
+            cur.kind = Tok::Colon;
+            return;
+          case '=':
+            cur.kind = Tok::Assign;
+            return;
+          case '(':
+            cur.kind = Tok::LParen;
+            return;
+          case ')':
+            cur.kind = Tok::RParen;
+            return;
+          case ';':
+            cur.kind = Tok::Semicolon;
+            return;
+          default:
+            cur.kind = Tok::End;
+            cur.text = std::string(1, c);
+            message = "unexpected character '" + cur.text + "'";
+            failed = true;
+            return;
+        }
+    }
+
+    bool
+    accept(Tok kind)
+    {
+        if (cur.kind != kind)
+            return false;
+        advance();
+        return true;
+    }
+
+    // --- Node caches ------------------------------------------------------
+
+    NodeId
+    loadFor(const std::string &ref)
+    {
+        auto it = loads.find(ref);
+        if (it != loads.end())
+            return it->second;
+        NodeId n = graph.addNode(OpCode::Load, ref);
+        loads.emplace(ref, n);
+        return n;
+    }
+
+    NodeId
+    constFor(const std::string &name)
+    {
+        auto it = consts.find(name);
+        if (it != consts.end())
+            return it->second;
+        NodeId n = graph.addNode(OpCode::Const, name);
+        consts.emplace(name, n);
+        return n;
+    }
+
+    NodeId
+    binary(OpCode op, NodeId a, NodeId b)
+    {
+        NodeId n = graph.addNode(op);
+        graph.addEdge(a, n);
+        graph.addEdge(b, n);
+        return n;
+    }
+
+    // --- Grammar ----------------------------------------------------------
+
+    bool
+    statement()
+    {
+        if (cur.kind != Tok::Ident)
+            return fail("expected an assignment target");
+        Token target = cur;
+        advance();
+
+        bool accumulate = false;
+        if (accept(Tok::PlusAssign)) {
+            accumulate = true;
+        } else if (!accept(Tok::Assign)) {
+            return fail("expected '=' or '+=' after '" + target.text + "'");
+        }
+
+        NodeId value = expr();
+        if (failed)
+            return false;
+
+        if (accumulate) {
+            // x += e  =>  accumulator add with a distance-1 self edge.
+            NodeId acc = graph.addNode(OpCode::Add,
+                                       target.text + "+=");
+            graph.addEdge(value, acc);
+            graph.addEdge(acc, acc, 1);
+            value = acc;
+        }
+
+        if (target.isArrayRef) {
+            NodeId st = graph.addNode(OpCode::Store, target.text);
+            graph.addEdge(value, st);
+            // The stored element may be read again in later statements.
+            loads[target.text] = value;
+        }
+        scalars[target.text] = value;
+
+        if (!accept(Tok::Semicolon) && cur.kind != Tok::End)
+            return fail("expected ';' after statement");
+        return true;
+    }
+
+    NodeId
+    expr()
+    {
+        return ternary();
+    }
+
+    NodeId
+    ternary()
+    {
+        NodeId cond = compare();
+        if (failed)
+            return cond;
+        if (!accept(Tok::Question))
+            return cond;
+        NodeId then_v = compare();
+        if (failed)
+            return cond;
+        if (!accept(Tok::Colon)) {
+            fail("expected ':' in conditional expression");
+            failed = true;
+            return cond;
+        }
+        NodeId else_v = compare();
+        if (failed)
+            return cond;
+        NodeId sel = graph.addNode(OpCode::Select);
+        graph.addEdge(cond, sel);
+        graph.addEdge(then_v, sel);
+        graph.addEdge(else_v, sel);
+        return sel;
+    }
+
+    NodeId
+    compare()
+    {
+        NodeId left = sum();
+        if (failed)
+            return left;
+        if (accept(Tok::Less)) {
+            NodeId right = sum();
+            if (failed)
+                return left;
+            return binary(OpCode::Cmp, left, right);
+        }
+        return left;
+    }
+
+    NodeId
+    sum()
+    {
+        NodeId left = product();
+        if (failed)
+            return left;
+        while (cur.kind == Tok::Plus || cur.kind == Tok::Minus) {
+            OpCode op =
+                cur.kind == Tok::Plus ? OpCode::Add : OpCode::Sub;
+            advance();
+            NodeId right = product();
+            if (failed)
+                return left;
+            left = binary(op, left, right);
+        }
+        return left;
+    }
+
+    NodeId
+    product()
+    {
+        NodeId left = unary();
+        if (failed)
+            return left;
+        while (cur.kind == Tok::Star || cur.kind == Tok::Slash) {
+            OpCode op =
+                cur.kind == Tok::Star ? OpCode::Mul : OpCode::Div;
+            advance();
+            NodeId right = unary();
+            if (failed)
+                return left;
+            left = binary(op, left, right);
+        }
+        return left;
+    }
+
+    NodeId
+    unary()
+    {
+        if (accept(Tok::LParen)) {
+            NodeId inner = expr();
+            if (failed)
+                return inner;
+            if (!accept(Tok::RParen)) {
+                fail("expected ')'");
+                failed = true;
+            }
+            return inner;
+        }
+        if (cur.kind == Tok::Number) {
+            NodeId n = constFor(cur.text);
+            advance();
+            return n;
+        }
+        if (cur.kind == Tok::Ident) {
+            Token t = cur;
+            advance();
+            if (t.isArrayRef)
+                return loadFor(t.text);
+            auto it = scalars.find(t.text);
+            if (it != scalars.end())
+                return it->second;
+            return constFor(t.text);
+        }
+        fail("expected an operand");
+        failed = true;
+        return 0;
+    }
+
+    const std::string &src;
+    size_t pos = 0;
+    Token cur;
+    bool failed = false;
+    std::string message;
+
+    Dfg graph;
+    std::map<std::string, NodeId> loads;
+    std::map<std::string, NodeId> consts;
+    std::map<std::string, NodeId> scalars;
+};
+
+} // namespace
+
+std::optional<Dfg>
+parseExpressions(const std::string &source, const std::string &name,
+                 std::string *error)
+{
+    Parser parser(source, name);
+    return parser.run(error);
+}
+
+} // namespace lisa::dfg

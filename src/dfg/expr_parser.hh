@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Expression-language frontend: builds a loop-body DFG from C-like
+ * statements, the way a compiler front end would feed the mapper.
+ *
+ * Grammar (per ';'-separated statement):
+ * @code
+ *   stmt    := target ('=' | '+=') expr
+ *   target  := scalar-identifier | ArrayRef
+ *   expr    := ternary
+ *   ternary := compare ('?' compare ':' compare)?
+ *   compare := sum ('<' sum)?
+ *   sum     := product (('+' | '-') product)*
+ *   product := unary (('*' | '/') unary)*
+ *   unary   := ArrayRef | identifier | number | '(' expr ')'
+ * @endcode
+ *
+ * Semantics:
+ *  - ArrayRef (e.g. "A[i][k]") on the right is a Load (one node per
+ *    distinct textual reference); on the left it is a Store.
+ *  - A bare identifier is the scalar bound by an earlier statement, or a
+ *    loop-invariant Const otherwise (e.g. "alpha"). Numbers are Consts.
+ *  - "x += expr" creates an accumulator: an Add with a distance-1
+ *    self-recurrence, like the MAC patterns in the PolyBench kernels.
+ *  - '<' lowers to Cmp, "c ? a : b" to Select.
+ */
+
+#ifndef LISA_DFG_EXPR_PARSER_HH
+#define LISA_DFG_EXPR_PARSER_HH
+
+#include <optional>
+#include <string>
+
+#include "dfg/dfg.hh"
+
+namespace lisa::dfg {
+
+/**
+ * Parse a loop body into a DFG named @p name.
+ * @return std::nullopt (and fills @p error if non-null) on syntax errors
+ * or when the resulting graph is invalid.
+ */
+std::optional<Dfg> parseExpressions(const std::string &source,
+                                    const std::string &name,
+                                    std::string *error = nullptr);
+
+} // namespace lisa::dfg
+
+#endif // LISA_DFG_EXPR_PARSER_HH

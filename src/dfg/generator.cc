@@ -1,0 +1,145 @@
+#include "dfg/generator.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace lisa::dfg {
+
+Dfg
+generateRandomDfg(const GeneratorConfig &cfg, Rng &rng)
+{
+    if (cfg.minNodes < 2 || cfg.maxNodes < cfg.minNodes)
+        fatal("generateRandomDfg: bad node-count range");
+    if (cfg.computeOps.empty())
+        fatal("generateRandomDfg: no compute ops supplied");
+
+    const int n = rng.uniformInt(cfg.minNodes, cfg.maxNodes);
+    Dfg g("synth");
+
+    // Decide node roles up front. Index order is the topological order.
+    const int num_loads =
+        std::max(1, static_cast<int>(n * cfg.loadFraction));
+
+    for (int i = 0; i < n; ++i) {
+        if (i < num_loads) {
+            g.addNode(OpCode::Load, "ld" + std::to_string(i));
+        } else {
+            g.addNode(rng.pick(cfg.computeOps), "op" + std::to_string(i));
+        }
+    }
+
+    // Spanning edges guarantee weak connectivity: every non-first compute
+    // node consumes some earlier node. Loads have no inputs.
+    for (int i = num_loads; i < n; ++i) {
+        int src = rng.uniformInt(0, i - 1);
+        g.addEdge(src, i);
+        // Extra fan-in for realistic MAC-style trees.
+        int extra = rng.uniformInt(0, cfg.maxExtraInputs);
+        for (int k = 0; k < extra; ++k) {
+            int s = rng.uniformInt(0, i - 1);
+            // Avoid duplicate parallel edges.
+            bool dup = false;
+            for (EdgeId e : g.inEdges(i))
+                if (g.edge(e).src == s)
+                    dup = true;
+            if (!dup)
+                g.addEdge(s, i);
+        }
+    }
+
+    // Early loads other than load 0 may be disconnected (no consumers yet);
+    // attach each orphan load to a random later compute node.
+    for (int i = 0; i < num_loads; ++i) {
+        if (g.outEdges(i).empty() && num_loads < n) {
+            int dst = rng.uniformInt(num_loads, n - 1);
+            g.addEdge(i, dst);
+        }
+    }
+
+    // The spanning edges link every compute node to *some* earlier node,
+    // which can still leave multiple weakly-connected islands. Stitch each
+    // extra component into node 0's component through one of its compute
+    // nodes (so the edge keeps ascending-index / topological direction).
+    while (true) {
+        std::vector<int> comp(g.numNodes(), -1);
+        int num_comps = 0;
+        for (size_t s = 0; s < g.numNodes(); ++s) {
+            if (comp[s] >= 0)
+                continue;
+            std::vector<NodeId> stack{static_cast<NodeId>(s)};
+            comp[s] = num_comps;
+            while (!stack.empty()) {
+                NodeId v = stack.back();
+                stack.pop_back();
+                auto visit = [&](NodeId u) {
+                    if (comp[u] < 0) {
+                        comp[u] = num_comps;
+                        stack.push_back(u);
+                    }
+                };
+                for (EdgeId e : g.outEdges(v))
+                    visit(g.edge(e).dst);
+                for (EdgeId e : g.inEdges(v))
+                    visit(g.edge(e).src);
+            }
+            ++num_comps;
+        }
+        if (num_comps == 1)
+            break;
+        // Lowest compute node outside component 0 becomes the join point.
+        int join = -1;
+        for (int i = num_loads; i < n; ++i) {
+            if (comp[i] != comp[0]) {
+                join = i;
+                break;
+            }
+        }
+        if (join < 0)
+            panic("generator: disconnected component without compute node");
+        // Any earlier node from component 0 can feed it.
+        std::vector<NodeId> sources;
+        for (int i = 0; i < join; ++i)
+            if (comp[i] == comp[0])
+                sources.push_back(i);
+        g.addEdge(rng.pick(sources), join);
+    }
+
+    // Sink compute nodes feed stores, like real kernels writing results.
+    std::vector<NodeId> sinks;
+    for (int i = num_loads; i < n; ++i)
+        if (g.outEdges(i).empty())
+            sinks.push_back(i);
+    for (NodeId s : sinks) {
+        NodeId st = g.addNode(OpCode::Store, "st" + std::to_string(s));
+        g.addEdge(s, st);
+    }
+
+    // Optionally close an accumulator recurrence on one compute node.
+    if (rng.chance(cfg.recurrenceProb) && num_loads < n) {
+        NodeId acc = rng.uniformInt(num_loads, n - 1);
+        if (g.node(acc).op != OpCode::Store)
+            g.addEdge(acc, acc, 1);
+    }
+
+    std::string reason;
+    if (!g.validate(&reason))
+        panic("generated DFG invalid: ", reason);
+    return g;
+}
+
+std::vector<Dfg>
+generateDataset(const GeneratorConfig &cfg, size_t count, Rng &rng)
+{
+    std::vector<Dfg> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        Dfg g = generateRandomDfg(cfg, rng);
+        g.setName("synth" + std::to_string(i));
+        out.push_back(std::move(g));
+    }
+    return out;
+}
+
+} // namespace lisa::dfg

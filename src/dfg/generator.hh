@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Random synthetic DFG generator (Section V-A of the paper).
+ *
+ * Produces directed, weakly connected, acyclic loop-body graphs with node
+ * counts and per-node fanout ranges matched to the real PolyBench kernels,
+ * used to build the GNN training sets for each accelerator.
+ */
+
+#ifndef LISA_DFG_GENERATOR_HH
+#define LISA_DFG_GENERATOR_HH
+
+#include <vector>
+
+#include "dfg/dfg.hh"
+#include "support/random.hh"
+
+namespace lisa::dfg {
+
+/** Tunables for random DFG generation. */
+struct GeneratorConfig
+{
+    int minNodes = 10;
+    int maxNodes = 24;
+    /** Max extra intra-iteration fan-in per node beyond the connecting
+     *  spanning edge. */
+    int maxExtraInputs = 2;
+    /** Fraction of nodes that are memory loads (stores come from sinks). */
+    double loadFraction = 0.25;
+    /** Probability of adding one accumulator-style recurrence edge. */
+    double recurrenceProb = 0.35;
+    /** Operations the target accelerator supports for compute nodes. */
+    std::vector<OpCode> computeOps = {OpCode::Add, OpCode::Sub, OpCode::Mul,
+                                      OpCode::And, OpCode::Or, OpCode::Cmp};
+};
+
+/**
+ * Generate one random DFG. Deterministic given the Rng state. The result
+ * always passes Dfg::validate().
+ */
+Dfg generateRandomDfg(const GeneratorConfig &cfg, Rng &rng);
+
+/** Generate @p count DFGs named "synth<i>". */
+std::vector<Dfg> generateDataset(const GeneratorConfig &cfg, size_t count,
+                                 Rng &rng);
+
+} // namespace lisa::dfg
+
+#endif // LISA_DFG_GENERATOR_HH

@@ -1,0 +1,125 @@
+#include "dfg/serialize.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace lisa::dfg {
+
+void
+writeText(const Dfg &dfg, std::ostream &os)
+{
+    os << "dfg " << (dfg.name().empty() ? "unnamed" : dfg.name()) << '\n';
+    for (const Node &n : dfg.nodes()) {
+        os << "node " << n.id << ' ' << opName(n.op);
+        if (!n.name.empty())
+            os << ' ' << n.name;
+        os << '\n';
+    }
+    for (const Edge &e : dfg.edges()) {
+        os << "edge " << e.src << ' ' << e.dst;
+        if (e.iterDistance != 0)
+            os << ' ' << e.iterDistance;
+        os << '\n';
+    }
+}
+
+std::string
+toText(const Dfg &dfg)
+{
+    std::ostringstream os;
+    writeText(dfg, os);
+    return os.str();
+}
+
+std::optional<Dfg>
+readText(std::istream &is, std::string *error)
+{
+    auto fail = [&](const std::string &why) -> std::optional<Dfg> {
+        if (error)
+            *error = why;
+        return std::nullopt;
+    };
+
+    Dfg g;
+    std::string line;
+    int lineno = 0;
+    bool have_header = false;
+    while (std::getline(is, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream ls(line);
+        std::string kind;
+        if (!(ls >> kind))
+            continue; // blank line
+        if (kind == "dfg") {
+            std::string name;
+            ls >> name;
+            g.setName(name);
+            have_header = true;
+        } else if (kind == "node") {
+            int id;
+            std::string op, name;
+            if (!(ls >> id >> op))
+                return fail("line " + std::to_string(lineno) +
+                            ": malformed node record");
+            if (id != static_cast<int>(g.numNodes()))
+                return fail("line " + std::to_string(lineno) +
+                            ": node ids must be dense and ascending");
+            ls >> name;
+            g.addNode(opFromName(op), name);
+        } else if (kind == "edge") {
+            int src, dst, dist = 0;
+            if (!(ls >> src >> dst))
+                return fail("line " + std::to_string(lineno) +
+                            ": malformed edge record");
+            ls >> dist;
+            if (src < 0 || dst < 0 ||
+                src >= static_cast<int>(g.numNodes()) ||
+                dst >= static_cast<int>(g.numNodes())) {
+                return fail("line " + std::to_string(lineno) +
+                            ": edge endpoint out of range");
+            }
+            g.addEdge(src, dst, dist);
+        } else {
+            return fail("line " + std::to_string(lineno) +
+                        ": unknown record '" + kind + "'");
+        }
+    }
+    if (!have_header)
+        return fail("missing 'dfg <name>' header");
+    std::string reason;
+    if (!g.validate(&reason))
+        return fail("invalid DFG: " + reason);
+    return g;
+}
+
+std::optional<Dfg>
+fromText(const std::string &text, std::string *error)
+{
+    std::istringstream is(text);
+    return readText(is, error);
+}
+
+std::string
+toDot(const Dfg &dfg)
+{
+    std::ostringstream os;
+    os << "digraph \"" << dfg.name() << "\" {\n";
+    for (const Node &n : dfg.nodes()) {
+        os << "  n" << n.id << " [label=\"" << n.id << ":" << opName(n.op)
+           << "\"];\n";
+    }
+    for (const Edge &e : dfg.edges()) {
+        os << "  n" << e.src << " -> n" << e.dst;
+        if (e.iterDistance != 0)
+            os << " [style=dashed,label=\"d" << e.iterDistance << "\"]";
+        os << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace lisa::dfg

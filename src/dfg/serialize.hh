@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Plain-text (de)serialization for DFGs.
+ *
+ * Format (one record per line, '#' comments allowed):
+ * @code
+ *   dfg <name>
+ *   node <id> <op> [name]
+ *   edge <src> <dst> [iterDistance]
+ * @endcode
+ * Node ids must be dense and ascending from 0.
+ */
+
+#ifndef LISA_DFG_SERIALIZE_HH
+#define LISA_DFG_SERIALIZE_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "dfg/dfg.hh"
+
+namespace lisa::dfg {
+
+/** Write @p dfg in the text format. */
+void writeText(const Dfg &dfg, std::ostream &os);
+
+/** Render the text format to a string. */
+std::string toText(const Dfg &dfg);
+
+/**
+ * Parse the text format. Returns std::nullopt (and fills @p error if
+ * non-null) on malformed input.
+ */
+std::optional<Dfg> readText(std::istream &is, std::string *error = nullptr);
+
+/** Parse the text format from a string. */
+std::optional<Dfg> fromText(const std::string &text,
+                            std::string *error = nullptr);
+
+/** Render a Graphviz dot view (for debugging / docs). */
+std::string toDot(const Dfg &dfg);
+
+} // namespace lisa::dfg
+
+#endif // LISA_DFG_SERIALIZE_HH

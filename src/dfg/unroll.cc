@@ -1,0 +1,58 @@
+#include "dfg/unroll.hh"
+
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace lisa::dfg {
+
+Dfg
+unroll(const Dfg &dfg, int factor)
+{
+    if (factor < 1)
+        fatal("unroll: factor must be >= 1, got ", factor);
+
+    Dfg out(dfg.name() + "_u" + std::to_string(factor));
+
+    // clone[k][v] = id of node v in unrolled copy k.
+    std::vector<std::vector<NodeId>> clone(
+        factor, std::vector<NodeId>(dfg.numNodes(), kInvalidNode));
+    for (int k = 0; k < factor; ++k) {
+        for (const Node &n : dfg.nodes()) {
+            std::string name = n.name.empty()
+                                   ? "n" + std::to_string(n.id)
+                                   : n.name;
+            clone[k][n.id] =
+                out.addNode(n.op, name + "#" + std::to_string(k));
+        }
+    }
+
+    for (const Edge &e : dfg.edges()) {
+        for (int k = 0; k < factor; ++k) {
+            if (e.iterDistance == 0) {
+                out.addEdge(clone[k][e.src], clone[k][e.dst], 0);
+                continue;
+            }
+            int target = k + e.iterDistance;
+            if (target < factor) {
+                // The dependency lands inside the unrolled body.
+                out.addEdge(clone[k][e.src], clone[target][e.dst], 0);
+            } else {
+                // It crosses the unrolled-loop back edge.
+                int new_dist = (target - (target % factor)) / factor;
+                out.addEdge(clone[k][e.src], clone[target % factor][e.dst],
+                            new_dist);
+            }
+        }
+    }
+
+    // Connectivity is not required: unrolling a distance-d recurrence by a
+    // factor dividing d yields independent interleaved chains.
+    std::string reason;
+    if (!out.validate(&reason, /*require_connected=*/false))
+        panic("unrolled DFG invalid: ", reason);
+    return out;
+}
+
+} // namespace lisa::dfg

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Loop unrolling on DFGs (used for the paper's "unrolled, factor 2"
+ * workloads in Fig 9d/9f and Fig 13).
+ */
+
+#ifndef LISA_DFG_UNROLL_HH
+#define LISA_DFG_UNROLL_HH
+
+#include "dfg/dfg.hh"
+
+namespace lisa::dfg {
+
+/**
+ * Unroll the loop body @p factor times.
+ *
+ * Each node is replicated once per unrolled copy. Intra-iteration edges are
+ * replicated within each copy. A loop-carried edge (u -> v, distance d)
+ * becomes, for copy k, an intra-iteration edge u_k -> v_{k+d} when k+d stays
+ * inside the unrolled body, and otherwise a loop-carried edge
+ * u_k -> v_{(k+d) mod factor} with distance ceil((k+d-factor+1)/factor)
+ * relative to the unrolled loop.
+ *
+ * @param dfg the original loop body
+ * @param factor unroll factor, >= 1 (1 returns a renamed copy)
+ */
+Dfg unroll(const Dfg &dfg, int factor);
+
+} // namespace lisa::dfg
+
+#endif // LISA_DFG_UNROLL_HH

@@ -1,0 +1,81 @@
+#include "gnn/accuracy.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace lisa::gnn {
+
+double
+exactRoundedAccuracy(const nn::Tensor &pred,
+                     const std::vector<double> &target)
+{
+    if (pred.rows() != static_cast<int>(target.size()))
+        panic("exactRoundedAccuracy: arity mismatch");
+    if (target.empty())
+        return 1.0;
+    int hit = 0;
+    for (size_t i = 0; i < target.size(); ++i) {
+        if (std::lround(pred.at(static_cast<int>(i), 0)) ==
+            std::lround(target[i]))
+            ++hit;
+    }
+    return static_cast<double>(hit) / static_cast<double>(target.size());
+}
+
+double
+toleranceAccuracy(const nn::Tensor &pred, const std::vector<double> &target,
+                  double tolerance)
+{
+    if (pred.rows() != static_cast<int>(target.size()))
+        panic("toleranceAccuracy: arity mismatch");
+    if (target.empty())
+        return 1.0;
+    int hit = 0;
+    for (size_t i = 0; i < target.size(); ++i) {
+        if (std::abs(pred.at(static_cast<int>(i), 0) - target[i]) <=
+            tolerance)
+            ++hit;
+    }
+    return static_cast<double>(hit) / static_cast<double>(target.size());
+}
+
+std::vector<double>
+evaluateAccuracy(const LabelModels &models,
+                 const std::vector<LabeledSample> &samples)
+{
+    double acc[4] = {0, 0, 0, 0};
+    long weight[4] = {0, 0, 0, 0};
+    for (const LabeledSample &s : samples) {
+        if (!s.scheduleOrder.empty()) {
+            auto pred = models.scheduleOrder.forward(s.attrs);
+            acc[0] += exactRoundedAccuracy(pred, s.scheduleOrder) *
+                      static_cast<double>(s.scheduleOrder.size());
+            weight[0] += static_cast<long>(s.scheduleOrder.size());
+        }
+        if (!s.association.empty()) {
+            auto pred = models.association.forward(s.attrs);
+            acc[1] += toleranceAccuracy(pred, s.association, 1.0) *
+                      static_cast<double>(s.association.size());
+            weight[1] += static_cast<long>(s.association.size());
+        }
+        if (!s.spatialDist.empty()) {
+            auto pred = models.spatialDist.forward(s.attrs);
+            acc[2] += toleranceAccuracy(pred, s.spatialDist, 1.0) *
+                      static_cast<double>(s.spatialDist.size());
+            weight[2] += static_cast<long>(s.spatialDist.size());
+        }
+        if (!s.temporalDist.empty()) {
+            auto pred = models.temporalDist.forward(s.attrs);
+            acc[3] += toleranceAccuracy(pred, s.temporalDist, 2.0) *
+                      static_cast<double>(s.temporalDist.size());
+            weight[3] += static_cast<long>(s.temporalDist.size());
+        }
+    }
+    std::vector<double> out(4, 0.0);
+    for (int i = 0; i < 4; ++i)
+        out[i] = weight[i] ? acc[i] / static_cast<double>(weight[i]) : 1.0;
+    return out;
+}
+
+} // namespace lisa::gnn

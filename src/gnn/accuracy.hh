@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The paper's label-accuracy metrics (Section VI-B):
+ *  - schedule order (label 1): accurate when prediction and ground truth
+ *    round to the same value;
+ *  - association / spatial distance (labels 2, 3): accurate within 1;
+ *  - temporal distance (label 4): accurate within 2.
+ */
+
+#ifndef LISA_GNN_ACCURACY_HH
+#define LISA_GNN_ACCURACY_HH
+
+#include <vector>
+
+#include "gnn/trainer.hh"
+
+namespace lisa::gnn {
+
+/** Fraction of rows where round(pred) == round(target). */
+double exactRoundedAccuracy(const nn::Tensor &pred,
+                            const std::vector<double> &target);
+
+/** Fraction of rows where |pred - target| <= tolerance. */
+double toleranceAccuracy(const nn::Tensor &pred,
+                         const std::vector<double> &target,
+                         double tolerance);
+
+/** Per-label accuracies over a sample set, ordered label 1..4. */
+std::vector<double> evaluateAccuracy(const LabelModels &models,
+                                     const std::vector<LabeledSample> &samples);
+
+} // namespace lisa::gnn
+
+#endif // LISA_GNN_ACCURACY_HH

@@ -1,0 +1,17 @@
+#include "gnn/association_net.hh"
+
+namespace lisa::gnn {
+
+AssociationNet::AssociationNet(Rng &rng)
+    : mlp(kDummyAttrs, kDummyAttrs, 1, rng, "assoc")
+{
+    registerChild("", mlp);
+}
+
+nn::Tensor
+AssociationNet::forward(const GraphAttributes &attrs) const
+{
+    return mlp.forward(attrs.dummyAttrs);
+}
+
+} // namespace lisa::gnn

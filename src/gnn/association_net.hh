@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Label-2 network: same-level nodes association (Eq. 3).
+ *
+ * An MLP ("two convolution layers and one activation layer", hidden width
+ * equal to the dummy-edge attribute count) over the 7 dummy-edge
+ * attributes, predicting the expected spatial distance between each
+ * same-level node pair.
+ */
+
+#ifndef LISA_GNN_ASSOCIATION_NET_HH
+#define LISA_GNN_ASSOCIATION_NET_HH
+
+#include "gnn/attributes.hh"
+#include "nn/module.hh"
+
+namespace lisa::gnn {
+
+/** MLP predictor of the same-level association label. */
+class AssociationNet : public nn::Module
+{
+  public:
+    explicit AssociationNet(Rng &rng);
+
+    /** @return (p x 1) association predictions, one per same-level pair. */
+    nn::Tensor forward(const GraphAttributes &attrs) const;
+
+  private:
+    nn::Mlp mlp;
+};
+
+} // namespace lisa::gnn
+
+#endif // LISA_GNN_ASSOCIATION_NET_HH

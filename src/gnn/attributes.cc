@@ -1,0 +1,160 @@
+#include "gnn/attributes.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace lisa::gnn {
+
+namespace {
+
+/** L1 magnitude of one row of a tensor. */
+double
+rowMagnitude(const nn::Tensor &t, int row)
+{
+    double acc = 0.0;
+    for (int j = 0; j < t.cols(); ++j)
+        acc += std::abs(t.at(row, j));
+    return acc;
+}
+
+} // namespace
+
+GraphAttributes
+computeAttributes(const dfg::Dfg &dfg, const dfg::Analysis &analysis)
+{
+    GraphAttributes out;
+    const int n = static_cast<int>(dfg.numNodes());
+    const int m = static_cast<int>(dfg.numEdges());
+    const auto &pairs = analysis.sameLevelPairs();
+    const int p = static_cast<int>(pairs.size());
+
+    // --- Node attributes ---------------------------------------------
+    out.nodeAttrs = nn::Tensor(n, kNodeAttrs);
+    out.asapColumn = nn::Tensor(n, 1);
+    for (int v = 0; v < n; ++v) {
+        out.nodeAttrs.at(v, 0) = analysis.asap(v);
+        out.nodeAttrs.at(v, 1) = static_cast<double>(dfg.inEdges(v).size());
+        out.nodeAttrs.at(v, 2) = static_cast<double>(dfg.outEdges(v).size());
+        out.nodeAttrs.at(v, 3) = analysis.ancestorCount(v);
+        out.nodeAttrs.at(v, 4) = analysis.descendantCount(v);
+        out.nodeAttrs.at(v, 5) =
+            static_cast<double>(static_cast<int>(dfg.node(v).op));
+        out.asapColumn.at(v, 0) = analysis.asap(v);
+    }
+
+    // --- Undirected node neighbourhoods ------------------------------
+    out.nodeNeighbors.assign(n, {});
+    for (const dfg::Edge &e : dfg.edges()) {
+        if (e.src == e.dst)
+            continue;
+        auto &su = out.nodeNeighbors[e.src];
+        auto &sv = out.nodeNeighbors[e.dst];
+        if (std::find(su.begin(), su.end(), e.dst) == su.end())
+            su.push_back(e.dst);
+        if (std::find(sv.begin(), sv.end(), e.src) == sv.end())
+            sv.push_back(e.src);
+    }
+
+    // --- Edge attributes ----------------------------------------------
+    out.edgeAttrs = nn::Tensor(std::max(m, 1), kEdgeAttrs);
+    for (int e = 0; e < m; ++e) {
+        const dfg::Edge &edge = dfg.edge(e);
+        const int pa = analysis.asap(edge.src);
+        const int ca = analysis.asap(edge.dst);
+        out.edgeAttrs.at(e, 0) = ca - pa;
+        out.edgeAttrs.at(e, 1) = analysis.nodesBetweenLevels(pa, ca);
+        // Same-level population around parent and child (excluding the
+        // endpoints themselves).
+        int same = analysis.nodesAtLevel(pa) - 1;
+        if (ca != pa)
+            same += analysis.nodesAtLevel(ca) - 1;
+        out.edgeAttrs.at(e, 2) = same;
+        out.edgeAttrs.at(e, 3) = analysis.ancestorCount(edge.src);
+        out.edgeAttrs.at(e, 4) = analysis.descendantCount(edge.dst);
+    }
+
+    // --- Dummy-edge attributes (same-level pairs) ----------------------
+    out.dummyAttrs = nn::Tensor(std::max(p, 1), kDummyAttrs);
+    for (int i = 0; i < p; ++i) {
+        const dfg::SameLevelPair &pr = pairs[i];
+        const int level = analysis.asap(pr.a);
+        double anc_dist = 0.0, desc_dist = 0.0;
+        double between_anc = 0.0, between_desc = 0.0;
+        double on_path_anc = 0.0, on_path_desc = 0.0;
+        double equal_pop = analysis.nodesAtLevel(level);
+
+        if (pr.hasAncestor()) {
+            anc_dist = 0.5 * (pr.ancDistA + pr.ancDistB);
+            const int anc_level = analysis.asap(pr.ancestor);
+            between_anc = analysis.nodesBetweenLevels(anc_level, level);
+            on_path_anc = analysis.nodesOnPath(pr.ancestor, pr.a) +
+                          analysis.nodesOnPath(pr.ancestor, pr.b);
+            if (anc_level != level)
+                equal_pop += analysis.nodesAtLevel(anc_level);
+        }
+        if (pr.hasDescendant()) {
+            desc_dist = 0.5 * (pr.descDistA + pr.descDistB);
+            const int desc_level = analysis.asap(pr.descendant);
+            between_desc = analysis.nodesBetweenLevels(level, desc_level);
+            on_path_desc = analysis.nodesOnPath(pr.a, pr.descendant) +
+                           analysis.nodesOnPath(pr.b, pr.descendant);
+            if (desc_level != level &&
+                (!pr.hasAncestor() ||
+                 desc_level != analysis.asap(pr.ancestor))) {
+                equal_pop += analysis.nodesAtLevel(desc_level);
+            }
+        }
+
+        out.dummyAttrs.at(i, 0) = anc_dist;
+        out.dummyAttrs.at(i, 1) = desc_dist;
+        out.dummyAttrs.at(i, 2) = between_anc;
+        out.dummyAttrs.at(i, 3) = between_desc;
+        out.dummyAttrs.at(i, 4) = equal_pop;
+        out.dummyAttrs.at(i, 5) = on_path_anc;
+        out.dummyAttrs.at(i, 6) = on_path_desc;
+    }
+
+    // --- Eq. 5 reciprocal aggregates ------------------------------------
+    out.edgeNu = nn::Tensor(std::max(m, 1), kNuAttrs);
+    for (int e = 0; e < m; ++e) {
+        const dfg::Edge &edge = dfg.edge(e);
+        // Connected edges of parent and child (deduplicated, incl. e).
+        std::vector<int> connected;
+        auto add_edges = [&](dfg::NodeId v) {
+            for (dfg::EdgeId x : dfg.inEdges(v))
+                if (std::find(connected.begin(), connected.end(), x) ==
+                    connected.end())
+                    connected.push_back(x);
+            for (dfg::EdgeId x : dfg.outEdges(v))
+                if (std::find(connected.begin(), connected.end(), x) ==
+                    connected.end())
+                    connected.push_back(x);
+        };
+        add_edges(edge.src);
+        add_edges(edge.dst);
+
+        double sum = 0.0, mn = 0.0, mx = 0.0;
+        bool first = true;
+        for (int x : connected) {
+            double mag = rowMagnitude(out.edgeAttrs, x);
+            sum += mag;
+            mn = first ? mag : std::min(mn, mag);
+            mx = first ? mag : std::max(mx, mag);
+            first = false;
+        }
+        double mean = connected.empty()
+                          ? 0.0
+                          : sum / static_cast<double>(connected.size());
+        auto recip = [](double v) { return v == 0.0 ? 1.0 : 1.0 / v; };
+        out.edgeNu.at(e, 0) = recip(mean);
+        out.edgeNu.at(e, 1) = recip(sum);
+        out.edgeNu.at(e, 2) = recip(mx);
+        out.edgeNu.at(e, 3) = recip(mn);
+    }
+
+    return out;
+}
+
+} // namespace lisa::gnn

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Attributes Generator (Section IV-A of the paper).
+ *
+ * DFGs carry almost no natural attributes, so classical graph algorithms
+ * derive richer structure descriptors for the GNNs:
+ *  - 6 node attributes: ASAP, in-degree, out-degree, ancestor count,
+ *    descendant count, operation type;
+ *  - 5 edge attributes: ASAP difference, nodes between the endpoints'
+ *    levels, same-level population around the endpoints, parent's ancestor
+ *    count, child's descendant count;
+ *  - 7 dummy-edge attributes for same-level node pairs (Fig 7): distances
+ *    to the closest common ancestor/descendant, level populations between
+ *    them, equal-level population, and on-path node counts.
+ *
+ * In addition to the paper's list, the generator emits the reciprocal
+ * neighbour-edge aggregates [1/mean, 1/sum, 1/max, 1/min] that Eq. 5 uses
+ * as the normalization gate of the spatial-distance network.
+ */
+
+#ifndef LISA_GNN_ATTRIBUTES_HH
+#define LISA_GNN_ATTRIBUTES_HH
+
+#include <vector>
+
+#include "dfg/analysis.hh"
+#include "nn/tensor.hh"
+
+namespace lisa::gnn {
+
+/** Number of node attributes. */
+constexpr int kNodeAttrs = 6;
+/** Number of edge attributes. */
+constexpr int kEdgeAttrs = 5;
+/** Number of dummy-edge (same-level pair) attributes. */
+constexpr int kDummyAttrs = 7;
+/** Number of reciprocal aggregates in the Eq. 5 normalization vector. */
+constexpr int kNuAttrs = 4;
+
+/** All per-graph inputs the label networks consume. */
+struct GraphAttributes
+{
+    /** (n x kNodeAttrs) node attribute matrix. */
+    nn::Tensor nodeAttrs;
+    /** (m x kEdgeAttrs) edge attribute matrix (m = numEdges). */
+    nn::Tensor edgeAttrs;
+    /** (p x kDummyAttrs) dummy-edge attributes (p = sameLevelPairs). */
+    nn::Tensor dummyAttrs;
+    /** (m x kNuAttrs) reciprocal aggregates over neighbouring edges. */
+    nn::Tensor edgeNu;
+    /** (n x 1) ASAP column (the schedule-order net's initial h). */
+    nn::Tensor asapColumn;
+    /** Per node: neighbouring node ids (undirected, deduplicated). */
+    std::vector<std::vector<int>> nodeNeighbors;
+};
+
+/** Compute all attributes for one DFG. */
+GraphAttributes computeAttributes(const dfg::Dfg &dfg,
+                                  const dfg::Analysis &analysis);
+
+} // namespace lisa::gnn
+
+#endif // LISA_GNN_ATTRIBUTES_HH

@@ -1,0 +1,48 @@
+#include "gnn/schedule_order_net.hh"
+
+#include <string>
+
+namespace lisa::gnn {
+
+using nn::Tensor;
+
+ScheduleOrderNet::ScheduleOrderNet(Rng &rng)
+{
+    inputProj =
+        registerParam("in.w", nn::xavier(kNodeAttrs, kHidden, rng));
+    for (int l = 0; l < kLayers; ++l) {
+        const std::string p = "layer" + std::to_string(l);
+        aggregate.push_back(
+            registerParam(p + ".w1", nn::xavier(3 * kHidden, kHidden, rng)));
+        stateProj.push_back(
+            registerParam(p + ".w3", nn::xavier(kState, kHidden, rng)));
+        update.push_back(
+            registerParam(p + ".w2", nn::xavier(kHidden, kState, rng)));
+    }
+    readout = registerParam("out.w", nn::xavier(kState, 1, rng));
+    readoutBias = registerParam("out.b", Tensor(1, 1, true));
+}
+
+Tensor
+ScheduleOrderNet::forward(const GraphAttributes &attrs) const
+{
+    // h0 = [node attributes | ASAP] — the schedule order starts at ASAP.
+    Tensor h = nn::concatCols({attrs.nodeAttrs, attrs.asapColumn});
+    // First messages come straight from the attributes.
+    Tensor m = nn::relu(nn::matmul(attrs.nodeAttrs, inputProj));
+
+    for (int l = 0; l < kLayers; ++l) {
+        // Eq. 1: aggregate neighbour messages with mean/max/min pooling.
+        Tensor agg = nn::concatCols(
+            {nn::segmentPool(m, attrs.nodeNeighbors, nn::Pool::Mean),
+             nn::segmentPool(m, attrs.nodeNeighbors, nn::Pool::Max),
+             nn::segmentPool(m, attrs.nodeNeighbors, nn::Pool::Min)});
+        m = nn::relu(nn::matmul(agg, aggregate[l]));
+        // Eq. 2: h <- (h W3 + m) W2.
+        h = nn::matmul(nn::add(nn::matmul(h, stateProj[l]), m), update[l]);
+    }
+
+    return nn::addRowBroadcast(nn::matmul(h, readout), readoutBias);
+}
+
+} // namespace lisa::gnn

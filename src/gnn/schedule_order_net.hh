@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Label-1 network: schedule order (Eq. 1 and Eq. 2 of the paper).
+ *
+ * Four message-passing layers. Each layer aggregates the neighbours'
+ * message vectors with the three pooling functions (mean, max, min),
+ * mixes the concatenation with W1, and updates the per-node state
+ * h <- (h W3 + m) W2, where h carries the node attributes plus the
+ * current schedule-order estimate. The first layer derives the initial
+ * messages directly from the Attributes Generator output, and a final
+ * linear readout produces the scalar schedule order per node.
+ */
+
+#ifndef LISA_GNN_SCHEDULE_ORDER_NET_HH
+#define LISA_GNN_SCHEDULE_ORDER_NET_HH
+
+#include "gnn/attributes.hh"
+#include "nn/module.hh"
+
+namespace lisa::gnn {
+
+/** Message-passing predictor of the schedule-order label. */
+class ScheduleOrderNet : public nn::Module
+{
+  public:
+    static constexpr int kLayers = 4;
+    /** Message width. */
+    static constexpr int kHidden = 8;
+    /** Node-state width: kNodeAttrs + 1 schedule-order slot. */
+    static constexpr int kState = kNodeAttrs + 1;
+
+    explicit ScheduleOrderNet(Rng &rng);
+
+    /** @return (n x 1) schedule-order predictions. */
+    nn::Tensor forward(const GraphAttributes &attrs) const;
+
+  private:
+    nn::Tensor inputProj;               ///< kNodeAttrs x kHidden
+    std::vector<nn::Tensor> aggregate;  ///< per layer, 3*kHidden x kHidden
+    std::vector<nn::Tensor> stateProj;  ///< per layer, kState x kHidden (W3)
+    std::vector<nn::Tensor> update;     ///< per layer, kHidden x kState (W2)
+    nn::Tensor readout;                 ///< kState x 1
+    nn::Tensor readoutBias;             ///< 1 x 1
+};
+
+} // namespace lisa::gnn
+
+#endif // LISA_GNN_SCHEDULE_ORDER_NET_HH

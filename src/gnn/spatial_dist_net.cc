@@ -1,0 +1,26 @@
+#include "gnn/spatial_dist_net.hh"
+
+namespace lisa::gnn {
+
+using nn::Tensor;
+
+SpatialDistNet::SpatialDistNet(Rng &rng)
+{
+    w1 = registerParam("w1", nn::xavier(kEdgeAttrs, kHidden, rng));
+    w2 = registerParam("w2", nn::xavier(kHidden, 1, rng));
+    w3 = registerParam("w3", nn::xavier(kHidden, 1, rng));
+    nuMix = registerParam("nu", nn::xavier(kNuAttrs, 1, rng));
+    bias = registerParam("b", Tensor(1, 1, true));
+}
+
+Tensor
+SpatialDistNet::forward(const GraphAttributes &attrs) const
+{
+    Tensor h1 = nn::relu(nn::matmul(attrs.edgeAttrs, w1)); // Eq. 4
+    Tensor nu = nn::matmul(attrs.edgeNu, nuMix);           // Eq. 5 gate
+    Tensor plain = nn::matmul(h1, w2);
+    Tensor gated = nn::hadamard(nu, nn::matmul(h1, w3));
+    return nn::addRowBroadcast(nn::add(plain, gated), bias); // Eq. 6
+}
+
+} // namespace lisa::gnn

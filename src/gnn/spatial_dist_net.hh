@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Label-3 network: spatial mapping distance (Eq. 4 - Eq. 6).
+ *
+ * Eq. 4 projects the raw edge attributes into an initial feature h1.
+ * Eq. 5 builds a normalization vector nu from reciprocal aggregates
+ * (1/mean, 1/sum, 1/max, 1/min) over the features of the edges connected
+ * to the parent and child nodes — the Attributes Generator supplies these
+ * aggregates and a learned 4-vector mixes them into a scalar gate.
+ * Eq. 6 combines the plain and gated projections:
+ * h2 = h1 W2 + nu * (h1 W3).
+ */
+
+#ifndef LISA_GNN_SPATIAL_DIST_NET_HH
+#define LISA_GNN_SPATIAL_DIST_NET_HH
+
+#include "gnn/attributes.hh"
+#include "nn/module.hh"
+
+namespace lisa::gnn {
+
+/** Gated predictor of the spatial mapping distance label. */
+class SpatialDistNet : public nn::Module
+{
+  public:
+    static constexpr int kHidden = kEdgeAttrs;
+
+    explicit SpatialDistNet(Rng &rng);
+
+    /** @return (m x 1) spatial-distance predictions, one per edge. */
+    nn::Tensor forward(const GraphAttributes &attrs) const;
+
+  private:
+    nn::Tensor w1;     ///< kEdgeAttrs x kHidden (Eq. 4)
+    nn::Tensor w2;     ///< kHidden x 1 (Eq. 6 plain term)
+    nn::Tensor w3;     ///< kHidden x 1 (Eq. 6 gated term)
+    nn::Tensor nuMix;  ///< kNuAttrs x 1 (mixes Eq. 5 aggregates)
+    nn::Tensor bias;   ///< 1 x 1
+};
+
+} // namespace lisa::gnn
+
+#endif // LISA_GNN_SPATIAL_DIST_NET_HH

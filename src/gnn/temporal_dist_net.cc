@@ -1,0 +1,17 @@
+#include "gnn/temporal_dist_net.hh"
+
+namespace lisa::gnn {
+
+TemporalDistNet::TemporalDistNet(Rng &rng)
+    : mlp(kEdgeAttrs, kEdgeAttrs, 1, rng, "temporal")
+{
+    registerChild("", mlp);
+}
+
+nn::Tensor
+TemporalDistNet::forward(const GraphAttributes &attrs) const
+{
+    return mlp.forward(attrs.edgeAttrs);
+}
+
+} // namespace lisa::gnn

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Label-4 network: temporal mapping distance (Eq. 7).
+ *
+ * An MLP over the 5 edge attributes (hidden width equal to the attribute
+ * count, ReLU activation), predicting the temporal distance each DFG edge
+ * will span in a mapping — i.e. the routing resources it needs.
+ */
+
+#ifndef LISA_GNN_TEMPORAL_DIST_NET_HH
+#define LISA_GNN_TEMPORAL_DIST_NET_HH
+
+#include "gnn/attributes.hh"
+#include "nn/module.hh"
+
+namespace lisa::gnn {
+
+/** MLP predictor of the temporal mapping distance label. */
+class TemporalDistNet : public nn::Module
+{
+  public:
+    explicit TemporalDistNet(Rng &rng);
+
+    /** @return (m x 1) temporal-distance predictions, one per edge. */
+    nn::Tensor forward(const GraphAttributes &attrs) const;
+
+  private:
+    nn::Mlp mlp;
+};
+
+} // namespace lisa::gnn
+
+#endif // LISA_GNN_TEMPORAL_DIST_NET_HH

@@ -1,0 +1,124 @@
+#include "gnn/trainer.hh"
+
+#include <functional>
+
+#include "support/logging.hh"
+
+namespace lisa::gnn {
+
+namespace {
+
+/** Column tensor from a plain vector. */
+nn::Tensor
+columnOf(const std::vector<double> &values)
+{
+    return nn::Tensor::fromValues(static_cast<int>(values.size()), 1,
+                                  values);
+}
+
+/**
+ * Shared loop: for each epoch, for each sample with a non-empty target,
+ * run forward, MSE, backward, Adam step. Returns the last epoch's mean
+ * loss.
+ */
+double
+trainGeneric(
+    nn::Module &net, const std::vector<LabeledSample> &samples,
+    const TrainConfig &config,
+    const std::function<nn::Tensor(const LabeledSample &)> &forward,
+    const std::function<const std::vector<double> &(const LabeledSample &)>
+        &target)
+{
+    nn::Adam adam(config.adam);
+    adam.attach(net);
+
+    double last_mean = 0.0;
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+        double total = 0.0;
+        int count = 0;
+        for (const LabeledSample &sample : samples) {
+            const auto &t = target(sample);
+            if (t.empty())
+                continue;
+            nn::Tensor pred = forward(sample);
+            if (pred.rows() != static_cast<int>(t.size()))
+                panic("trainGeneric: prediction/target arity mismatch (",
+                      pred.rows(), " vs ", t.size(), ")");
+            nn::Tensor loss = nn::mseLoss(pred, columnOf(t));
+            total += loss.item();
+            ++count;
+            loss.backward();
+            adam.step();
+        }
+        last_mean = count ? total / count : 0.0;
+    }
+    return last_mean;
+}
+
+} // namespace
+
+double
+trainScheduleOrder(ScheduleOrderNet &net,
+                   const std::vector<LabeledSample> &samples,
+                   const TrainConfig &config)
+{
+    return trainGeneric(
+        net, samples, config,
+        [&](const LabeledSample &s) { return net.forward(s.attrs); },
+        [](const LabeledSample &s) -> const std::vector<double> & {
+            return s.scheduleOrder;
+        });
+}
+
+double
+trainAssociation(AssociationNet &net,
+                 const std::vector<LabeledSample> &samples,
+                 const TrainConfig &config)
+{
+    return trainGeneric(
+        net, samples, config,
+        [&](const LabeledSample &s) { return net.forward(s.attrs); },
+        [](const LabeledSample &s) -> const std::vector<double> & {
+            return s.association;
+        });
+}
+
+double
+trainSpatialDist(SpatialDistNet &net,
+                 const std::vector<LabeledSample> &samples,
+                 const TrainConfig &config)
+{
+    return trainGeneric(
+        net, samples, config,
+        [&](const LabeledSample &s) { return net.forward(s.attrs); },
+        [](const LabeledSample &s) -> const std::vector<double> & {
+            return s.spatialDist;
+        });
+}
+
+double
+trainTemporalDist(TemporalDistNet &net,
+                  const std::vector<LabeledSample> &samples,
+                  const TrainConfig &config)
+{
+    return trainGeneric(
+        net, samples, config,
+        [&](const LabeledSample &s) { return net.forward(s.attrs); },
+        [](const LabeledSample &s) -> const std::vector<double> & {
+            return s.temporalDist;
+        });
+}
+
+std::vector<double>
+trainAll(LabelModels &models, const std::vector<LabeledSample> &samples,
+         const TrainConfig &config)
+{
+    return {
+        trainScheduleOrder(models.scheduleOrder, samples, config),
+        trainAssociation(models.association, samples, config),
+        trainSpatialDist(models.spatialDist, samples, config),
+        trainTemporalDist(models.temporalDist, samples, config),
+    };
+}
+
+} // namespace lisa::gnn

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Training harness for the four label networks.
+ *
+ * Samples pair graph attributes with ground-truth label values coming from
+ * the iterative mapping pipeline (core/training_data.hh). Training follows
+ * the paper's setup: Adam, learning rate 0.001, weight decay 0.0005, one
+ * graph per step.
+ */
+
+#ifndef LISA_GNN_TRAINER_HH
+#define LISA_GNN_TRAINER_HH
+
+#include <vector>
+
+#include "gnn/association_net.hh"
+#include "gnn/attributes.hh"
+#include "gnn/schedule_order_net.hh"
+#include "gnn/spatial_dist_net.hh"
+#include "gnn/temporal_dist_net.hh"
+#include "nn/optimizer.hh"
+
+namespace lisa::gnn {
+
+/** One training graph: attributes plus the four label vectors. */
+struct LabeledSample
+{
+    GraphAttributes attrs;
+    /** Label 1, one per node. */
+    std::vector<double> scheduleOrder;
+    /** Label 2, one per same-level pair. */
+    std::vector<double> association;
+    /** Label 3, one per edge. */
+    std::vector<double> spatialDist;
+    /** Label 4, one per edge. */
+    std::vector<double> temporalDist;
+};
+
+/** Training hyper-parameters. */
+struct TrainConfig
+{
+    int epochs = 300;
+    nn::AdamConfig adam{};
+};
+
+/** The four trained networks for one accelerator. */
+struct LabelModels
+{
+    ScheduleOrderNet scheduleOrder;
+    AssociationNet association;
+    SpatialDistNet spatialDist;
+    TemporalDistNet temporalDist;
+
+    explicit LabelModels(Rng &rng)
+        : scheduleOrder(rng), association(rng), spatialDist(rng),
+          temporalDist(rng)
+    {
+    }
+};
+
+/** Train all four networks on @p samples; returns final mean losses
+ *  ordered label 1..4. */
+std::vector<double> trainAll(LabelModels &models,
+                             const std::vector<LabeledSample> &samples,
+                             const TrainConfig &config);
+
+/** @{ Per-network training; each returns the final mean epoch loss. */
+double trainScheduleOrder(ScheduleOrderNet &net,
+                          const std::vector<LabeledSample> &samples,
+                          const TrainConfig &config);
+double trainAssociation(AssociationNet &net,
+                        const std::vector<LabeledSample> &samples,
+                        const TrainConfig &config);
+double trainSpatialDist(SpatialDistNet &net,
+                        const std::vector<LabeledSample> &samples,
+                        const TrainConfig &config);
+double trainTemporalDist(TemporalDistNet &net,
+                         const std::vector<LabeledSample> &samples,
+                         const TrainConfig &config);
+/** @} */
+
+} // namespace lisa::gnn
+
+#endif // LISA_GNN_TRAINER_HH

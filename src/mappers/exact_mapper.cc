@@ -1,0 +1,134 @@
+#include "mappers/exact_mapper.hh"
+
+#include <algorithm>
+
+#include "mappers/placement_util.hh"
+#include "support/stopwatch.hh"
+
+namespace lisa::map {
+
+ExactMapper::ExactMapper(ExactConfig config) : cfg(config) {}
+
+namespace {
+
+/** Depth-first enumeration state. */
+struct Dfs
+{
+    const MapContext &ctx;
+    Mapping &mapping;
+    const ExactConfig &cfg;
+    const std::vector<dfg::NodeId> &order;
+    Stopwatch timer;
+    bool timedOut = false;
+
+    bool place(size_t depth);
+    bool routeIncidentStrict(dfg::NodeId v,
+                             std::vector<dfg::EdgeId> &routed_here);
+};
+
+bool
+Dfs::routeIncidentStrict(dfg::NodeId v, std::vector<dfg::EdgeId> &routed_here)
+{
+    const auto &dfg = mapping.dfg();
+    std::vector<dfg::EdgeId> pending;
+    for (dfg::EdgeId e : dfg.inEdges(v))
+        pending.push_back(e);
+    for (dfg::EdgeId e : dfg.outEdges(v))
+        if (dfg.edge(e).src != dfg.edge(e).dst)
+            pending.push_back(e);
+
+    // Longest routes first: they are the most constrained.
+    if (mapping.mrrg().accel().temporalMapping()) {
+        std::stable_sort(pending.begin(), pending.end(),
+                         [&](dfg::EdgeId a, dfg::EdgeId b) {
+                             const auto &ea = dfg.edge(a);
+                             const auto &eb = dfg.edge(b);
+                             auto ready = [&](const dfg::Edge &ed) {
+                                 return mapping.isPlaced(ed.src) &&
+                                        mapping.isPlaced(ed.dst);
+                             };
+                             if (!ready(ea) || !ready(eb))
+                                 return false;
+                             return mapping.requiredLength(a) >
+                                    mapping.requiredLength(b);
+                         });
+    }
+
+    for (dfg::EdgeId e : pending) {
+        const dfg::Edge &edge = dfg.edge(e);
+        if (!mapping.isPlaced(edge.src) || !mapping.isPlaced(edge.dst))
+            continue;
+        if (mapping.isRouted(e))
+            continue;
+        auto res = routeEdge(mapping, e, cfg.routerCosts);
+        if (!res) {
+            for (dfg::EdgeId r : routed_here)
+                mapping.clearRoute(r);
+            routed_here.clear();
+            return false;
+        }
+        mapping.setRoute(e, std::move(res->path));
+        routed_here.push_back(e);
+    }
+    return true;
+}
+
+bool
+Dfs::place(size_t depth)
+{
+    if (depth == order.size())
+        return true;
+    if (timer.seconds() > ctx.timeBudget) {
+        timedOut = true;
+        return false;
+    }
+
+    const dfg::NodeId v = order[depth];
+    const auto &accel = mapping.mrrg().accel();
+    const int ii = mapping.mrrg().ii();
+    auto capable = accel.opCapablePes(ctx.dfg.node(v).op);
+    if (capable.empty())
+        return false;
+
+    TimeWindow w = feasibleWindow(mapping, ctx.analysis, v);
+    if (!w.valid())
+        return false;
+    const int hi = accel.temporalMapping()
+                       ? std::min(w.hi, w.lo + ii + cfg.extraSlack)
+                       : 0;
+
+    for (int time = w.lo; time <= hi; ++time) {
+        for (int pe : capable) {
+            // The FU slot must be exclusively ours (no overuse is ever
+            // accepted in the exact search).
+            if (mapping.numInstancesOn(mapping.mrrg().fuId(pe, time)) > 0)
+                continue;
+            mapping.placeNode(v, pe, time);
+            std::vector<dfg::EdgeId> routed_here;
+            if (routeIncidentStrict(v, routed_here)) {
+                if (place(depth + 1))
+                    return true;
+                for (dfg::EdgeId e : routed_here)
+                    mapping.clearRoute(e);
+            }
+            mapping.unplaceNode(v);
+            if (timedOut)
+                return false;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::optional<Mapping>
+ExactMapper::tryMap(const MapContext &ctx)
+{
+    Mapping mapping(ctx.dfg, ctx.mrrg);
+    Dfs dfs{ctx, mapping, cfg, ctx.analysis.topoOrder(), Stopwatch{}, false};
+    if (dfs.place(0) && mapping.valid())
+        return mapping;
+    return std::nullopt;
+}
+
+} // namespace lisa::map

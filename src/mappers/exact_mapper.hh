@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Exact branch-and-bound mapper: the repo's stand-in for the ILP baseline.
+ *
+ * Enumerates placements in topological order (every capable PE x every
+ * schedule time within a bounded slack window), routing each dependency
+ * with a strict no-overuse router as soon as both endpoints are placed,
+ * and backtracking on failure. Like the ILP formulation it emulates, it is
+ * exhaustive (within its schedule window) and therefore finds a mapping at
+ * the lowest feasible II when given enough time — and fails by timeout on
+ * large or deeply-connected instances, which is exactly the behaviour the
+ * paper reports for ILP.
+ */
+
+#ifndef LISA_MAPPERS_EXACT_MAPPER_HH
+#define LISA_MAPPERS_EXACT_MAPPER_HH
+
+#include "mapping/router.hh"
+#include "mappers/mapper.hh"
+
+namespace lisa::map {
+
+/** Search-space knobs of the exact mapper. */
+struct ExactConfig
+{
+    /** Schedule times tried per node: [window.lo, window.lo + II + slack]. */
+    int extraSlack = 2;
+    RouterCosts routerCosts{1.0, 0.7, 0.0, /*allowOveruse=*/false};
+};
+
+/** Exhaustive depth-first placement-and-routing with backtracking. */
+class ExactMapper : public Mapper
+{
+  public:
+    explicit ExactMapper(ExactConfig config = {});
+
+    std::string name() const override { return "ILP*"; }
+    std::optional<Mapping> tryMap(const MapContext &ctx) override;
+
+  private:
+    ExactConfig cfg;
+};
+
+} // namespace lisa::map
+
+#endif // LISA_MAPPERS_EXACT_MAPPER_HH

@@ -1,0 +1,41 @@
+#include "mappers/mapper.hh"
+
+#include <algorithm>
+
+#include "mappers/placement_util.hh"
+
+namespace lisa::map {
+
+TimeWindow
+feasibleWindow(const Mapping &mapping, const dfg::Analysis &analysis,
+               dfg::NodeId v)
+{
+    if (!mapping.mrrg().accel().temporalMapping())
+        return TimeWindow{0, 0};
+
+    const auto &dfg = mapping.dfg();
+    const int ii = mapping.mrrg().ii();
+    TimeWindow w{analysis.asap(v), mapping.horizon() - 1};
+
+    for (dfg::EdgeId e : dfg.inEdges(v)) {
+        const dfg::Edge &edge = dfg.edge(e);
+        if (!mapping.isPlaced(edge.src) || edge.src == v)
+            continue;
+        int bound = mapping.placement(edge.src).time + 1 -
+                    edge.iterDistance * ii;
+        w.lo = std::max(w.lo, bound);
+    }
+    for (dfg::EdgeId e : dfg.outEdges(v)) {
+        const dfg::Edge &edge = dfg.edge(e);
+        if (!mapping.isPlaced(edge.dst) || edge.dst == v)
+            continue;
+        int bound = mapping.placement(edge.dst).time - 1 +
+                    edge.iterDistance * ii;
+        w.hi = std::min(w.hi, bound);
+    }
+    w.lo = std::max(w.lo, 0);
+    w.hi = std::min(w.hi, mapping.horizon() - 1);
+    return w;
+}
+
+} // namespace lisa::map

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Mapper interface: every mapping algorithm (vanilla SA, exact
+ * branch-and-bound, LISA's label-aware SA) attempts one DFG at one fixed II
+ * within a time budget. The II sweep lives in mapping/ii_search.hh.
+ */
+
+#ifndef LISA_MAPPERS_MAPPER_HH
+#define LISA_MAPPERS_MAPPER_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dfg/analysis.hh"
+#include "dfg/dfg.hh"
+#include "mapping/mapping.hh"
+#include "support/random.hh"
+
+namespace lisa::map {
+
+/** Everything one fixed-II mapping attempt needs. */
+struct MapContext
+{
+    const dfg::Dfg &dfg;
+    const dfg::Analysis &analysis;
+    std::shared_ptr<const arch::Mrrg> mrrg;
+    /** Wall-clock budget for this attempt, seconds. */
+    double timeBudget = 3.0;
+    Rng &rng;
+};
+
+/** Abstract mapping algorithm. */
+class Mapper
+{
+  public:
+    virtual ~Mapper() = default;
+
+    /** Short identifier used in result tables ("SA", "ILP*", "LISA"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Attempt to produce a valid mapping at the context's II.
+     * @return the mapping on success, std::nullopt on failure/timeout.
+     */
+    virtual std::optional<Mapping> tryMap(const MapContext &ctx) = 0;
+};
+
+} // namespace lisa::map
+
+#endif // LISA_MAPPERS_MAPPER_HH

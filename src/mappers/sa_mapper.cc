@@ -1,0 +1,203 @@
+#include "mappers/sa_mapper.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mappers/placement_util.hh"
+#include "support/logging.hh"
+#include "support/stopwatch.hh"
+
+namespace lisa::map {
+
+SaMapper::SaMapper(SaConfig config) : cfg(config) {}
+
+std::string
+SaMapper::name() const
+{
+    if (cfg.movementMultiplier > 1)
+        return "SA-M";
+    if (cfg.routingPriority)
+        return "SA+prio";
+    return "SA";
+}
+
+namespace {
+
+/** Incident edges of @p v whose other endpoint is placed. */
+std::vector<dfg::EdgeId>
+incidentEdges(const Mapping &mapping, dfg::NodeId v)
+{
+    const auto &dfg = mapping.dfg();
+    std::vector<dfg::EdgeId> out;
+    for (dfg::EdgeId e : dfg.inEdges(v))
+        out.push_back(e);
+    for (dfg::EdgeId e : dfg.outEdges(v)) {
+        // Self-loops appear in both lists; keep one copy.
+        if (dfg.edge(e).src != dfg.edge(e).dst)
+            out.push_back(e);
+    }
+    return out;
+}
+
+/** Sort edges longest-required-route first (the Fig 12 priority). */
+void
+sortByRoutingPriority(const Mapping &mapping, std::vector<dfg::EdgeId> &edges)
+{
+    std::stable_sort(edges.begin(), edges.end(),
+                     [&](dfg::EdgeId a, dfg::EdgeId b) {
+                         return mapping.requiredLength(a) >
+                                mapping.requiredLength(b);
+                     });
+}
+
+} // namespace
+
+void
+SaMapper::randomInit(const MapContext &ctx, Mapping &mapping)
+{
+    mapping.clear();
+    const auto &accel = mapping.mrrg().accel();
+    const int ii = mapping.mrrg().ii();
+    for (dfg::NodeId v : ctx.analysis.topoOrder()) {
+        auto capable = accel.opCapablePes(ctx.dfg.node(v).op);
+        if (capable.empty())
+            return; // leaves the mapping partial; cost will reflect it
+        int pe = ctx.rng.pick(capable);
+        int time = 0;
+        if (accel.temporalMapping()) {
+            TimeWindow w = feasibleWindow(mapping, ctx.analysis, v);
+            if (w.valid()) {
+                int hi = std::min(w.hi, w.lo + ii + 2);
+                time = ctx.rng.uniformInt(w.lo, hi);
+            } else {
+                time = std::min(ctx.analysis.asap(v), mapping.horizon() - 1);
+            }
+        }
+        mapping.placeNode(v, pe, time);
+    }
+    routeInOrder(mapping);
+}
+
+void
+SaMapper::routeInOrder(Mapping &mapping)
+{
+    std::vector<dfg::EdgeId> order;
+    for (dfg::EdgeId e = 0;
+         e < static_cast<dfg::EdgeId>(mapping.dfg().numEdges()); ++e) {
+        order.push_back(e);
+    }
+    if (cfg.routingPriority && mapping.mrrg().accel().temporalMapping() &&
+        mapping.numPlaced() == mapping.dfg().numNodes()) {
+        sortByRoutingPriority(mapping, order);
+    }
+    routeAll(mapping, cfg.routerCosts, order);
+}
+
+bool
+SaMapper::annealOnce(const MapContext &ctx, Mapping &mapping)
+{
+    Stopwatch timer;
+    const auto &accel = mapping.mrrg().accel();
+    const int ii = mapping.mrrg().ii();
+
+    randomInit(ctx, mapping);
+    if (mapping.numPlaced() != ctx.dfg.numNodes())
+        return false;
+    if (mapping.valid())
+        return true;
+
+    double cost = mappingCost(mapping, cfg.costParams);
+    double temp = cfg.initialTemp;
+    int stalled = 0;
+    const int moves = cfg.movesPerTemp * cfg.movementMultiplier;
+    const size_t num_nodes = ctx.dfg.numNodes();
+
+    while (temp > cfg.minTemp) {
+        int accepted = 0;
+        for (int m = 0; m < moves; ++m) {
+            if ((m & 15) == 0 && timer.seconds() > ctx.timeBudget)
+                return mapping.valid();
+
+            dfg::NodeId v = static_cast<dfg::NodeId>(ctx.rng.index(num_nodes));
+            auto capable = accel.opCapablePes(ctx.dfg.node(v).op);
+            if (capable.empty())
+                continue;
+
+            // Snapshot for undo.
+            const Placement old = mapping.placement(v);
+            auto affected = incidentEdges(mapping, v);
+            std::vector<std::pair<dfg::EdgeId, std::vector<int>>> saved;
+            for (dfg::EdgeId e : affected)
+                if (mapping.isRouted(e))
+                    saved.emplace_back(e, mapping.route(e));
+
+            // Apply: relocate and re-route incident edges.
+            for (dfg::EdgeId e : affected)
+                mapping.clearRoute(e);
+            mapping.unplaceNode(v);
+
+            int pe = ctx.rng.pick(capable);
+            int time = old.time;
+            if (accel.temporalMapping()) {
+                TimeWindow w = feasibleWindow(mapping, ctx.analysis, v);
+                if (w.valid() && ctx.rng.chance(0.7)) {
+                    int hi = std::min(w.hi, w.lo + ii + 2);
+                    time = ctx.rng.uniformInt(w.lo, hi);
+                } else {
+                    time = std::clamp(old.time + ctx.rng.uniformInt(-2, 2),
+                                      0, mapping.horizon() - 1);
+                }
+            }
+            mapping.placeNode(v, pe, time);
+
+            auto order = affected;
+            if (cfg.routingPriority && accel.temporalMapping())
+                sortByRoutingPriority(mapping, order);
+            for (dfg::EdgeId e : order) {
+                auto res = routeEdge(mapping, e, cfg.routerCosts);
+                if (res)
+                    mapping.setRoute(e, std::move(res->path));
+            }
+
+            double new_cost = mappingCost(mapping, cfg.costParams);
+            bool accept = new_cost <= cost ||
+                          ctx.rng.uniform() <
+                              std::exp((cost - new_cost) / temp);
+            if (accept) {
+                cost = new_cost;
+                ++accepted;
+                if (mapping.valid())
+                    return true;
+            } else {
+                // Revert: undo relocation and restore saved routes.
+                for (dfg::EdgeId e : affected)
+                    mapping.clearRoute(e);
+                mapping.unplaceNode(v);
+                mapping.placeNode(v, old.pe, old.time);
+                for (auto &[e, path] : saved)
+                    mapping.setRoute(e, path);
+            }
+        }
+        stalled = (accepted == 0) ? stalled + 1 : 0;
+        if (stalled >= cfg.stallLimit)
+            break; // frozen: restart with a fresh random start
+        temp *= cfg.coolRate;
+    }
+    return mapping.valid();
+}
+
+std::optional<Mapping>
+SaMapper::tryMap(const MapContext &ctx)
+{
+    Stopwatch total;
+    while (total.seconds() < ctx.timeBudget) {
+        Mapping mapping(ctx.dfg, ctx.mrrg);
+        MapContext run{ctx.dfg, ctx.analysis, ctx.mrrg,
+                       ctx.timeBudget - total.seconds(), ctx.rng};
+        if (annealOnce(run, mapping) && mapping.valid())
+            return mapping;
+    }
+    return std::nullopt;
+}
+
+} // namespace lisa::map

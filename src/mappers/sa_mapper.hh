@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Vanilla simulated-annealing mapper in the style of CGRA-ME.
+ *
+ * Random initial placement, relocate-one-node movements with rip-up and
+ * re-route of incident edges, Metropolis acceptance over the mapping cost,
+ * geometric cooling with a fixed number of movements per temperature, and
+ * random restarts while the time budget lasts.
+ *
+ * Two paper ablations are configuration flags:
+ *  - movementMultiplier = 10 gives SA-M (Fig 13);
+ *  - routingPriority = true routes long-latency edges first (Fig 12), the
+ *    label-4-style priority added to otherwise vanilla SA.
+ */
+
+#ifndef LISA_MAPPERS_SA_MAPPER_HH
+#define LISA_MAPPERS_SA_MAPPER_HH
+
+#include "mapping/cost.hh"
+#include "mapping/router.hh"
+#include "mappers/mapper.hh"
+
+namespace lisa::map {
+
+/** Tunables of the annealing schedule. */
+struct SaConfig
+{
+    /** Movements attempted per temperature (50 in the paper). */
+    int movesPerTemp = 50;
+    /** SA-M multiplies the movements per temperature by 10. */
+    int movementMultiplier = 1;
+    double initialTemp = 60.0;
+    double minTemp = 0.25;
+    double coolRate = 0.92;
+    /** Consecutive zero-acceptance temperatures before giving up a run. */
+    int stallLimit = 4;
+    /** Route un-routed edges longest-required-length first. */
+    bool routingPriority = false;
+    RouterCosts routerCosts;
+    CostParams costParams;
+};
+
+/** CGRA-ME-style simulated annealing. */
+class SaMapper : public Mapper
+{
+  public:
+    explicit SaMapper(SaConfig config = {});
+
+    std::string name() const override;
+    std::optional<Mapping> tryMap(const MapContext &ctx) override;
+
+  private:
+    /** One annealing run from a fresh random start. */
+    bool annealOnce(const MapContext &ctx, Mapping &mapping);
+
+    void randomInit(const MapContext &ctx, Mapping &mapping);
+    void routeInOrder(Mapping &mapping);
+
+    SaConfig cfg;
+};
+
+} // namespace lisa::map
+
+#endif // LISA_MAPPERS_SA_MAPPER_HH

@@ -1,0 +1,19 @@
+#include "mapping/cost.hh"
+
+namespace lisa::map {
+
+double
+mappingCost(const Mapping &mapping, const CostParams &params)
+{
+    const auto &dfg = mapping.dfg();
+    const double unplaced =
+        static_cast<double>(dfg.numNodes() - mapping.numPlaced());
+    const double unrouted =
+        static_cast<double>(dfg.numEdges() - mapping.numRouted());
+    return params.routeResourceWeight * mapping.totalRouteResources() +
+           params.overuseWeight * mapping.totalOveruse() +
+           params.unroutedWeight * unrouted +
+           params.unplacedWeight * unplaced;
+}
+
+} // namespace lisa::map

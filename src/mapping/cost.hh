@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Scalar cost of a (possibly partial / oversubscribed) mapping, used by the
+ * annealing mappers to compare movements.
+ */
+
+#ifndef LISA_MAPPING_COST_HH
+#define LISA_MAPPING_COST_HH
+
+#include "mapping/mapping.hh"
+
+namespace lisa::map {
+
+/** Weights of the mapping cost function. */
+struct CostParams
+{
+    double routeResourceWeight = 1.0; ///< per route-occupied resource
+    double overuseWeight = 40.0;      ///< per oversubscribed resource slot
+    double unroutedWeight = 200.0;    ///< per edge without a route
+    double unplacedWeight = 400.0;    ///< per unplaced node
+};
+
+/** Total cost; 0-overuse fully-routed mappings have only route cost. */
+double mappingCost(const Mapping &mapping, const CostParams &params);
+
+} // namespace lisa::map
+
+#endif // LISA_MAPPING_COST_HH

@@ -1,0 +1,113 @@
+#include "mapping/ii_search.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.hh"
+#include "support/stopwatch.hh"
+
+namespace lisa::map {
+
+int
+resourceMii(const dfg::Dfg &dfg, const arch::Accelerator &accel)
+{
+    auto ceil_div = [](int a, int b) { return (a + b - 1) / b; };
+
+    int mii = ceil_div(static_cast<int>(dfg.numNodes()), accel.numPes());
+
+    // Per-op-class pressure: ops executable on few PEs (e.g. loads under
+    // the left-column memory policy) bound the II independently.
+    std::map<dfg::OpCode, int> op_count;
+    for (const dfg::Node &n : dfg.nodes())
+        ++op_count[n.op];
+    for (auto [op, count] : op_count) {
+        int capable = static_cast<int>(accel.opCapablePes(op).size());
+        if (capable == 0)
+            return -1; // unmappable on this accelerator
+        mii = std::max(mii, ceil_div(count, capable));
+    }
+
+    // Loads and stores share the memory ports, so they form one combined
+    // pressure class on memory-capable PEs.
+    int mem_ops = static_cast<int>(dfg.numMemoryOps());
+    if (mem_ops > 0) {
+        int mem_pes = 0;
+        for (int pe = 0; pe < accel.numPes(); ++pe) {
+            if (accel.supportsOp(pe, dfg::OpCode::Load) ||
+                accel.supportsOp(pe, dfg::OpCode::Store)) {
+                ++mem_pes;
+            }
+        }
+        if (mem_pes == 0)
+            return -1;
+        mii = std::max(mii, ceil_div(mem_ops, mem_pes));
+    }
+    return mii;
+}
+
+int
+minimumIi(const dfg::Dfg &dfg, const dfg::Analysis &analysis,
+          const arch::Accelerator &accel)
+{
+    int res = resourceMii(dfg, accel);
+    if (res < 0)
+        return -1;
+    return std::max(res, analysis.recMii());
+}
+
+SearchResult
+searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
+            const arch::Accelerator &accel, const SearchOptions &options)
+{
+    SearchResult result;
+    Stopwatch total;
+    dfg::Analysis analysis(dfg);
+    Rng rng(options.seed);
+
+    if (!accel.temporalMapping()) {
+        // Spatial mapping: single configuration, one attempt.
+        result.mii = 1;
+        if (resourceMii(dfg, accel) < 0 ||
+            dfg.numNodes() > static_cast<size_t>(accel.numPes())) {
+            result.seconds = total.seconds();
+            return result;
+        }
+        auto mrrg = std::make_shared<const arch::Mrrg>(accel, 1);
+        MapContext ctx{dfg, analysis, mrrg, options.perIiBudget, rng};
+        auto mapping = mapper.tryMap(ctx);
+        result.seconds = total.seconds();
+        if (mapping) {
+            result.success = true;
+            result.ii = 1;
+            result.mapping = std::move(mapping);
+        }
+        return result;
+    }
+
+    int mii = minimumIi(dfg, analysis, accel);
+    if (mii < 0) {
+        result.seconds = total.seconds();
+        return result; // some op unsupported anywhere
+    }
+    result.mii = mii;
+
+    for (int ii = mii; ii <= accel.maxIi(); ++ii) {
+        if (total.seconds() >= options.totalBudget)
+            break;
+        double budget = std::min(options.perIiBudget,
+                                 options.totalBudget - total.seconds());
+        auto mrrg = std::make_shared<const arch::Mrrg>(accel, ii);
+        MapContext ctx{dfg, analysis, mrrg, budget, rng};
+        auto mapping = mapper.tryMap(ctx);
+        if (mapping) {
+            result.success = true;
+            result.ii = ii;
+            result.mapping = std::move(mapping);
+            break;
+        }
+    }
+    result.seconds = total.seconds();
+    return result;
+}
+
+} // namespace lisa::map

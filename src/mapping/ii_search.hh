@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Initiation-interval search driver.
+ *
+ * Computes the minimum II bound (resource MII, per-op-class MII, recurrence
+ * MII), then sweeps II upward invoking a Mapper until it succeeds or the
+ * configuration-depth limit / time budget is exhausted. This mirrors the
+ * paper's compilation flow: "the compiler starts with target II equal to
+ * MII and increments by one if it cannot map".
+ */
+
+#ifndef LISA_MAPPING_II_SEARCH_HH
+#define LISA_MAPPING_II_SEARCH_HH
+
+#include <optional>
+
+#include "mappers/mapper.hh"
+
+namespace lisa::map {
+
+/** Options for one full compilation (II sweep). */
+struct SearchOptions
+{
+    /** Wall-clock budget per II attempt, seconds. */
+    double perIiBudget = 3.0;
+    /** Wall-clock budget for the whole sweep, seconds. */
+    double totalBudget = 60.0;
+    /** RNG seed for the mapper's stochastic choices. */
+    uint64_t seed = 1;
+};
+
+/** Outcome of one full compilation. */
+struct SearchResult
+{
+    bool success = false;
+    /** Achieved II (0 when mapping failed). */
+    int ii = 0;
+    /** Lower bound the sweep started from. */
+    int mii = 0;
+    /** Total wall-clock compilation time, seconds. */
+    double seconds = 0.0;
+    /** The valid mapping (present iff success). */
+    std::optional<Mapping> mapping;
+};
+
+/** Resource-constrained minimum II, including per-op-class limits. */
+int resourceMii(const dfg::Dfg &dfg, const arch::Accelerator &accel);
+
+/** max(resourceMii, recurrence MII). */
+int minimumIi(const dfg::Dfg &dfg, const dfg::Analysis &analysis,
+              const arch::Accelerator &accel);
+
+/**
+ * Run the II sweep. Spatial-only accelerators get a single attempt at
+ * II == 1 and report II 1 on success.
+ */
+SearchResult searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
+                         const arch::Accelerator &accel,
+                         const SearchOptions &options);
+
+} // namespace lisa::map
+
+#endif // LISA_MAPPING_II_SEARCH_HH

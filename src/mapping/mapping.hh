@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Mapping state: placement of DFG nodes onto MRRG function units plus
+ * routing of DFG edges through MRRG resources, with incremental occupancy
+ * and overuse tracking.
+ *
+ * Placement uses absolute schedule times (the time-extended view of Fig 5);
+ * resource occupancy folds times into the II layers of the MRRG.
+ *
+ * Occupancy is keyed by value *instance*: (producer node, absolute time).
+ * Fanout routes of one producer share resources at the same absolute time
+ * for free, while the same datum held in one register across more than one
+ * II window conflicts with the next loop iteration's instance — exactly the
+ * modulo-scheduling capacity rule. Spatial-only architectures collapse the
+ * time component (a PE keeps its role for the whole run).
+ *
+ * During search, resources may be oversubscribed ("overuse"); a mapping is
+ * valid only when every resource carries at most one distinct instance.
+ */
+
+#ifndef LISA_MAPPING_MAPPING_HH
+#define LISA_MAPPING_MAPPING_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/mrrg.hh"
+#include "dfg/analysis.hh"
+#include "dfg/dfg.hh"
+
+namespace lisa::map {
+
+/** Where one DFG node lives: a PE and an absolute schedule time. */
+struct Placement
+{
+    int pe = -1;
+    int time = -1;
+
+    bool mapped() const { return pe >= 0; }
+};
+
+/** One candidate mapping of a DFG onto an MRRG. */
+class Mapping
+{
+  public:
+    /** Maximum representable absolute schedule time (exclusive). */
+    static constexpr int64_t kTimeSpan = 4096;
+
+    Mapping(const dfg::Dfg &dfg, std::shared_ptr<const arch::Mrrg> mrrg);
+
+    const dfg::Dfg &dfg() const { return *graph; }
+    const arch::Mrrg &mrrg() const { return *rrg; }
+    std::shared_ptr<const arch::Mrrg> mrrgPtr() const { return rrg; }
+
+    /** Largest allowed absolute schedule time (exclusive). */
+    int horizon() const { return maxTime; }
+    void setHorizon(int t) { maxTime = t; }
+
+    /** Value-instance key for producer @p v live at @p abs_time. */
+    int64_t instanceKey(dfg::NodeId v, int abs_time) const;
+
+    /** @{ Placement. */
+    const Placement &placement(dfg::NodeId v) const { return place[v]; }
+    bool isPlaced(dfg::NodeId v) const { return place[v].mapped(); }
+    size_t numPlaced() const { return placedCount; }
+
+    /** Place @p v at (@p pe, @p time); v must be currently unplaced. */
+    void placeNode(dfg::NodeId v, int pe, int time);
+
+    /** Remove @p v's placement; its incident routes must be cleared
+     *  first. */
+    void unplaceNode(dfg::NodeId v);
+    /** @} */
+
+    /** @{ Routing. */
+    bool isRouted(dfg::EdgeId e) const { return routed[e]; }
+    size_t numRouted() const { return routedCount; }
+
+    /** Intermediate resources of edge @p e's route (may be empty). */
+    const std::vector<int> &route(dfg::EdgeId e) const { return routes[e]; }
+
+    /** Install a route; @p e must be un-routed and both endpoints placed. */
+    void setRoute(dfg::EdgeId e, std::vector<int> path);
+
+    /** Remove edge @p e's route (no-op when un-routed). */
+    void clearRoute(dfg::EdgeId e);
+    /** @} */
+
+    /**
+     * Required route length of edge @p e (number of intermediate holders):
+     * T(dst) + iterDistance*II - 1 - T(src). Negative means the current
+     * placement cannot satisfy the dependency. Spatial-only architectures
+     * have no length constraint and report -2 (unused sentinel).
+     */
+    int requiredLength(dfg::EdgeId e) const;
+
+    /** Distinct instances on @p res beyond the first (0 = no conflict). */
+    int resourceOveruse(int res) const;
+
+    /** Number of distinct value instances on @p res. */
+    int numInstancesOn(int res) const;
+
+    /** True when @p res holds the instance @p key. */
+    bool holdsInstance(int res, int64_t key) const;
+
+    /** Producer node ids of all instances on @p res (for diagnostics). */
+    std::vector<dfg::NodeId> valuesOn(int res) const;
+
+    /** Total overuse across all resources. */
+    int totalOveruse() const { return overuse; }
+
+    /** Total count of route-occupied resource slots. */
+    int totalRouteResources() const { return routeResourceCount; }
+
+    /** All placed, all routed, zero overuse. */
+    bool valid() const;
+
+    /** Reset to the empty mapping. */
+    void clear();
+
+  private:
+    struct InstanceRef
+    {
+        int64_t key;
+        int refs;
+    };
+
+    void addInstance(int res, int64_t key);
+    void removeInstance(int res, int64_t key);
+
+    const dfg::Dfg *graph;
+    std::shared_ptr<const arch::Mrrg> rrg;
+    bool temporal;
+    int maxTime;
+
+    std::vector<Placement> place;
+    std::vector<std::vector<int>> routes;
+    std::vector<bool> routed;
+    /** Per-resource small list of (instance key, refcount). */
+    std::vector<std::vector<InstanceRef>> occ;
+    size_t placedCount = 0;
+    size_t routedCount = 0;
+    int overuse = 0;
+    int routeResourceCount = 0;
+};
+
+} // namespace lisa::map
+
+#endif // LISA_MAPPING_MAPPING_HH

@@ -1,0 +1,325 @@
+#include "mapping/router.hh"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "support/logging.hh"
+
+namespace lisa::map {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/**
+ * Cost of occupying @p res with instance @p key, or kInf when blocked.
+ * Reusing a resource that already carries the same instance (fanout) is
+ * free; carrying a different instance costs the congestion penalty.
+ */
+double
+stepCost(const Mapping &mapping, int res, int64_t key,
+         const RouterCosts &costs)
+{
+    if (mapping.holdsInstance(res, key))
+        return 0.0;
+    const arch::Resource &r = mapping.mrrg().resource(res);
+    double base =
+        (r.kind == arch::ResourceKind::Fu) ? costs.fuCost : costs.regCost;
+    if (mapping.numInstancesOn(res) > 0) {
+        if (!costs.allowOveruse)
+            return kInf;
+        base += costs.overusePenalty;
+    }
+    return base;
+}
+
+/** An existing holder of the value being routed. */
+struct Seed
+{
+    int res;            ///< resource id
+    int step;           ///< hops from the producer (0 = producer FU)
+    dfg::EdgeId parent; ///< route supplying the prefix (-1 = producer)
+};
+
+/** Existing holders of value @p u: producer FU at step 0 plus every
+ *  position of already-routed out-edges of @p u. */
+std::vector<Seed>
+collectSeeds(const Mapping &mapping, dfg::NodeId u)
+{
+    const auto &dfg = mapping.dfg();
+    const Placement &pu = mapping.placement(u);
+    std::vector<Seed> seeds;
+    seeds.push_back(Seed{mapping.mrrg().fuId(pu.pe, pu.time), 0, -1});
+    for (dfg::EdgeId e : dfg.outEdges(u)) {
+        if (!mapping.isRouted(e))
+            continue;
+        const auto &path = mapping.route(e);
+        for (size_t i = 0; i < path.size(); ++i)
+            seeds.push_back(Seed{path[i], static_cast<int>(i) + 1, e});
+    }
+    return seeds;
+}
+
+/** First @p steps hops of @p parent's route (the shared fanout prefix). */
+std::vector<int>
+sharedPrefix(const Mapping &mapping, dfg::EdgeId parent, int steps)
+{
+    if (parent < 0 || steps <= 0)
+        return {};
+    const auto &path = mapping.route(parent);
+    return {path.begin(), path.begin() + steps};
+}
+
+/** Exact-length layered DP for temporal architectures. */
+std::optional<RouteResult>
+routeTemporal(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs)
+{
+    const auto &mrrg = mapping.mrrg();
+    const dfg::Edge &edge = mapping.dfg().edge(e);
+    const Placement &src = mapping.placement(edge.src);
+    const Placement &dst = mapping.placement(edge.dst);
+    const int len = mapping.requiredLength(e);
+    if (len < 0)
+        return std::nullopt;
+
+    const int per_layer = mrrg.perLayerCount();
+    const int ii = mrrg.ii();
+
+    // cost[s][idx] = cheapest way to have the value on resource idx of
+    // layer (src.time + s) mod II after s moves. parent[s][idx] = index in
+    // layer s-1, or -2 for seeds. seedEdge[s][idx] = route supplying the
+    // shared fanout prefix for a seed.
+    std::vector<std::vector<double>> cost(
+        len + 1, std::vector<double>(per_layer, kInf));
+    std::vector<std::vector<int>> parent(
+        len + 1, std::vector<int>(per_layer, -1));
+    std::vector<std::vector<dfg::EdgeId>> seedEdge(
+        len + 1, std::vector<dfg::EdgeId>(per_layer, -1));
+
+    for (const Seed &seed : collectSeeds(mapping, edge.src)) {
+        if (seed.step > len)
+            continue;
+        // A holder only seeds the step whose layer it sits on (route
+        // positions of the same producer always satisfy this).
+        if (mrrg.layerOfResource(seed.res) != (src.time + seed.step) % ii)
+            continue;
+        int idx = mrrg.indexInLayer(seed.res);
+        if (cost[seed.step][idx] > 0.0) {
+            cost[seed.step][idx] = 0.0;
+            parent[seed.step][idx] = -2;
+            seedEdge[seed.step][idx] = seed.parent;
+        }
+    }
+
+    for (int s = 0; s < len; ++s) {
+        const int layer_base = ((src.time + s) % ii) * per_layer;
+        const int64_t key = mapping.instanceKey(edge.src, src.time + s + 1);
+        for (int idx = 0; idx < per_layer; ++idx) {
+            if (cost[s][idx] == kInf)
+                continue;
+            const int res = layer_base + idx;
+            for (int next : mrrg.resource(res).moveTargets) {
+                double c = stepCost(mapping, next, key, costs);
+                if (c == kInf)
+                    continue;
+                int nidx = mrrg.indexInLayer(next);
+                double total = cost[s][idx] + c;
+                if (total < cost[s + 1][nidx]) {
+                    cost[s + 1][nidx] = total;
+                    parent[s + 1][nidx] = idx;
+                }
+            }
+        }
+    }
+
+    // Final holder must be able to feed the consumer op.
+    const int final_layer = (src.time + len) % ii;
+    double best = kInf;
+    int best_idx = -1;
+    for (int res : mrrg.feeders(dst.pe, dst.time)) {
+        if (mrrg.layerOfResource(res) != final_layer)
+            continue;
+        int idx = mrrg.indexInLayer(res);
+        if (cost[len][idx] < best) {
+            best = cost[len][idx];
+            best_idx = idx;
+        }
+    }
+    if (best_idx < 0)
+        return std::nullopt;
+
+    RouteResult result;
+    result.cost = best;
+    int s = len;
+    int idx = best_idx;
+    while (s > 0 && parent[s][idx] != -2) {
+        result.path.push_back(((src.time + s) % ii) * per_layer + idx);
+        idx = parent[s][idx];
+        --s;
+    }
+    std::reverse(result.path.begin(), result.path.end());
+    if (s > 0) {
+        // Branched off an existing route: prepend the shared prefix so the
+        // stored path is complete from the producer.
+        std::vector<int> prefix =
+            sharedPrefix(mapping, seedEdge[s][idx], s);
+        result.path.insert(result.path.begin(), prefix.begin(),
+                           prefix.end());
+    }
+    if (static_cast<int>(result.path.size()) != len)
+        panic("routeTemporal: reconstructed path length ",
+              result.path.size(), " != required ", len);
+    return result;
+}
+
+/** Variable-length Dijkstra for spatial-only architectures. */
+std::optional<RouteResult>
+routeSpatial(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs)
+{
+    const auto &mrrg = mapping.mrrg();
+    const dfg::Edge &edge = mapping.dfg().edge(e);
+    const Placement &dst = mapping.placement(edge.dst);
+    const int64_t key = mapping.instanceKey(edge.src, 0);
+
+    const int n = mrrg.numResources();
+    std::vector<double> cost(n, kInf);
+    std::vector<int> parent(n, -1);
+    std::vector<int> seedStep(n, 0);
+    std::vector<dfg::EdgeId> seedEdge(n, -1);
+
+    using Item = std::pair<double, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    for (const Seed &seed : collectSeeds(mapping, edge.src)) {
+        if (cost[seed.res] > 0.0) {
+            cost[seed.res] = 0.0;
+            parent[seed.res] = -2;
+            seedStep[seed.res] = seed.step;
+            seedEdge[seed.res] = seed.parent;
+            pq.emplace(0.0, seed.res);
+        }
+    }
+
+    std::vector<bool> is_goal(n, false);
+    for (int g : mrrg.feeders(dst.pe, dst.time))
+        is_goal[g] = true;
+
+    int found = -1;
+    while (!pq.empty()) {
+        auto [c, res] = pq.top();
+        pq.pop();
+        if (c > cost[res])
+            continue;
+        if (is_goal[res]) {
+            found = res;
+            break;
+        }
+        for (int next : mrrg.resource(res).moveTargets) {
+            double sc = stepCost(mapping, next, key, costs);
+            if (sc == kInf)
+                continue;
+            if (c + sc < cost[next]) {
+                cost[next] = c + sc;
+                parent[next] = res;
+                pq.emplace(cost[next], next);
+            }
+        }
+    }
+    if (found < 0)
+        return std::nullopt;
+
+    RouteResult result;
+    result.cost = cost[found];
+    int res = found;
+    while (parent[res] != -2) {
+        result.path.push_back(res);
+        res = parent[res];
+    }
+    std::reverse(result.path.begin(), result.path.end());
+    // Prepend the shared fanout prefix when the search started mid-route.
+    std::vector<int> prefix =
+        sharedPrefix(mapping, seedEdge[res], seedStep[res]);
+    result.path.insert(result.path.begin(), prefix.begin(), prefix.end());
+    return result;
+}
+
+} // namespace
+
+std::optional<RouteResult>
+routeEdge(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs)
+{
+    const dfg::Edge &edge = mapping.dfg().edge(e);
+    if (!mapping.isPlaced(edge.src) || !mapping.isPlaced(edge.dst))
+        panic("routeEdge: edge ", e, " has unplaced endpoints");
+    if (mapping.isRouted(e))
+        panic("routeEdge: edge ", e, " already routed");
+    if (mapping.mrrg().accel().temporalMapping())
+        return routeTemporal(mapping, e, costs);
+    // On spatial-only arrays an accumulator feedback loop lives inside the
+    // PE (a MAC unit): routing it through a neighbour would add latency
+    // and break the II=1 feedback. No routing resources are needed.
+    if (edge.src == edge.dst)
+        return RouteResult{};
+    return routeSpatial(mapping, e, costs);
+}
+
+int
+rerouteIncident(Mapping &mapping, dfg::NodeId v, const RouterCosts &costs)
+{
+    const auto &dfg = mapping.dfg();
+    std::vector<dfg::EdgeId> affected;
+    for (dfg::EdgeId e : dfg.inEdges(v))
+        affected.push_back(e);
+    for (dfg::EdgeId e : dfg.outEdges(v))
+        affected.push_back(e);
+
+    for (dfg::EdgeId e : affected)
+        mapping.clearRoute(e);
+
+    int failures = 0;
+    for (dfg::EdgeId e : affected) {
+        const dfg::Edge &edge = dfg.edge(e);
+        if (!mapping.isPlaced(edge.src) || !mapping.isPlaced(edge.dst))
+            continue;
+        auto result = routeEdge(mapping, e, costs);
+        if (result) {
+            mapping.setRoute(e, std::move(result->path));
+        } else {
+            ++failures;
+        }
+    }
+    return failures;
+}
+
+int
+routeAll(Mapping &mapping, const RouterCosts &costs,
+         const std::vector<dfg::EdgeId> &order)
+{
+    const auto &dfg = mapping.dfg();
+    std::vector<dfg::EdgeId> edges = order;
+    if (edges.empty()) {
+        for (dfg::EdgeId e = 0;
+             e < static_cast<dfg::EdgeId>(dfg.numEdges()); ++e) {
+            edges.push_back(e);
+        }
+    }
+    int failures = 0;
+    for (dfg::EdgeId e : edges) {
+        if (mapping.isRouted(e))
+            continue;
+        const dfg::Edge &edge = dfg.edge(e);
+        if (!mapping.isPlaced(edge.src) || !mapping.isPlaced(edge.dst)) {
+            ++failures;
+            continue;
+        }
+        auto result = routeEdge(mapping, e, costs);
+        if (result) {
+            mapping.setRoute(e, std::move(result->path));
+        } else {
+            ++failures;
+        }
+    }
+    return failures;
+}
+
+} // namespace lisa::map

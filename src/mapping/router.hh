@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Edge router over the MRRG.
+ *
+ * Temporal architectures route with an exact-length layered shortest-path
+ * search (the schedule fixes the route latency, so each step advances one
+ * II layer); spatial-only architectures use Dijkstra with free length.
+ * Resources already carrying the same value are free to reuse, which yields
+ * fanout routing trees; resources carrying other values either block the
+ * route (strict mode) or cost a congestion penalty (search mode).
+ */
+
+#ifndef LISA_MAPPING_ROUTER_HH
+#define LISA_MAPPING_ROUTER_HH
+
+#include <optional>
+#include <vector>
+
+#include "mapping/mapping.hh"
+
+namespace lisa::map {
+
+/** Router cost knobs. */
+struct RouterCosts
+{
+    double fuCost = 1.0;         ///< occupying an FU as route-through
+    double regCost = 0.7;        ///< holding in a register one cycle
+    double overusePenalty = 8.0; ///< extra cost per already-taken resource
+    bool allowOveruse = true;    ///< false = blocked instead of penalised
+};
+
+/**
+ * Result of routing one edge.
+ *
+ * Paths are always complete: they start at the producer's first hop even
+ * when the router branched off an existing route of the same value
+ * (fanout). Shared hops are reference-counted by the Mapping, so ripping
+ * up one branch never strands its siblings, and hop i always occupies the
+ * value instance at absolute time T(src) + i + 1.
+ */
+struct RouteResult
+{
+    std::vector<int> path; ///< intermediate resources, in step order
+    double cost = 0.0;     ///< summed *new* resource costs incl. penalties
+};
+
+/**
+ * Route edge @p e of @p mapping. Both endpoints must be placed and the
+ * edge un-routed. Returns std::nullopt when no route exists (negative
+ * required length, blocked resources in strict mode, or disconnection).
+ */
+std::optional<RouteResult> routeEdge(const Mapping &mapping, dfg::EdgeId e,
+                                     const RouterCosts &costs);
+
+/**
+ * Rip up and re-route every edge incident to @p v (both directions).
+ * Failed edges are left un-routed. @return number of edges that failed.
+ */
+int rerouteIncident(Mapping &mapping, dfg::NodeId v,
+                    const RouterCosts &costs);
+
+/**
+ * Route all currently un-routed edges whose endpoints are placed, in the
+ * given order (or edge-id order when @p order is empty).
+ * @return number of edges that could not be routed.
+ */
+int routeAll(Mapping &mapping, const RouterCosts &costs,
+             const std::vector<dfg::EdgeId> &order = {});
+
+} // namespace lisa::map
+
+#endif // LISA_MAPPING_ROUTER_HH

@@ -1,0 +1,70 @@
+#include "nn/module.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace lisa::nn {
+
+void
+Module::zeroGrad()
+{
+    for (auto &[name, t] : params)
+        t.zeroGrad();
+}
+
+Tensor
+Module::registerParam(const std::string &name, Tensor t)
+{
+    for (const auto &[existing, unused] : params)
+        if (existing == name)
+            panic("registerParam: duplicate parameter '", name, "'");
+    params.emplace_back(name, t);
+    return t;
+}
+
+void
+Module::registerChild(const std::string &prefix, const Module &child)
+{
+    for (const auto &[name, t] : child.parameters())
+        registerParam(prefix.empty() ? name : prefix + "." + name, t);
+}
+
+Tensor
+xavier(int rows, int cols, Rng &rng)
+{
+    Tensor t(rows, cols, /*requires_grad=*/true);
+    const double bound = std::sqrt(6.0 / (rows + cols));
+    for (int i = 0; i < rows; ++i)
+        for (int j = 0; j < cols; ++j)
+            t.at(i, j) = (rng.uniform() * 2.0 - 1.0) * bound;
+    return t;
+}
+
+Linear::Linear(int in, int out, Rng &rng, const std::string &name)
+    : weight(registerParam(name + ".w", xavier(in, out, rng))),
+      bias(registerParam(name + ".b", Tensor(1, out, true)))
+{
+}
+
+Tensor
+Linear::forward(const Tensor &x) const
+{
+    return addRowBroadcast(matmul(x, weight), bias);
+}
+
+Mlp::Mlp(int in, int hidden, int out, Rng &rng, const std::string &name)
+    : first(in, hidden, rng, name + ".fc1"),
+      second(hidden, out, rng, name + ".fc2")
+{
+    registerChild("", first);
+    registerChild("", second);
+}
+
+Tensor
+Mlp::forward(const Tensor &x) const
+{
+    return second.forward(relu(first.forward(x)));
+}
+
+} // namespace lisa::nn

@@ -1,0 +1,425 @@
+#include "nn/ops.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace lisa::nn {
+
+namespace {
+
+/** Create a result node wired to its operands. */
+Tensor
+makeResult(int rows, int cols, std::vector<Tensor> inputs,
+           std::function<void(TensorNode &)> backward)
+{
+    Tensor out(rows, cols, false);
+    auto node = out.raw();
+    for (const Tensor &t : inputs)
+        node->inputs.push_back(t.raw());
+    node->backward = std::move(backward);
+    return out;
+}
+
+void
+checkDefined(const Tensor &t, const char *op)
+{
+    if (!t.defined())
+        panic(op, ": undefined tensor operand");
+}
+
+void
+checkSameShape(const Tensor &a, const Tensor &b, const char *op)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        panic(op, ": shape mismatch (", a.rows(), "x", a.cols(), " vs ",
+              b.rows(), "x", b.cols(), ")");
+}
+
+} // namespace
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    checkDefined(a, "matmul");
+    checkDefined(b, "matmul");
+    if (a.cols() != b.rows())
+        panic("matmul: inner dims differ (", a.cols(), " vs ", b.rows(), ")");
+    const int n = a.rows(), k = a.cols(), m = b.cols();
+    Tensor out = makeResult(n, m, {a, b}, [n, k, m](TensorNode &self) {
+        TensorNode &A = *self.inputs[0];
+        TensorNode &B = *self.inputs[1];
+        // dA = dOut * B^T ; dB = A^T * dOut
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < m; ++j) {
+                double g = self.grad[static_cast<size_t>(i) * m + j];
+                if (g == 0.0)
+                    continue;
+                for (int p = 0; p < k; ++p) {
+                    A.grad[static_cast<size_t>(i) * k + p] += g * B.at(p, j);
+                    B.grad[static_cast<size_t>(p) * m + j] += g * A.at(i, p);
+                }
+            }
+        }
+    });
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < m; ++j) {
+            double acc = 0.0;
+            for (int p = 0; p < k; ++p)
+                acc += a.at(i, p) * b.at(p, j);
+            out.at(i, j) = acc;
+        }
+    }
+    return out;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    checkDefined(a, "add");
+    checkDefined(b, "add");
+    checkSameShape(a, b, "add");
+    Tensor out = makeResult(a.rows(), a.cols(), {a, b}, [](TensorNode &self) {
+        for (size_t i = 0; i < self.grad.size(); ++i) {
+            self.inputs[0]->grad[i] += self.grad[i];
+            self.inputs[1]->grad[i] += self.grad[i];
+        }
+    });
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < a.cols(); ++j)
+            out.at(i, j) = a.at(i, j) + b.at(i, j);
+    return out;
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    checkDefined(a, "sub");
+    checkDefined(b, "sub");
+    checkSameShape(a, b, "sub");
+    Tensor out = makeResult(a.rows(), a.cols(), {a, b}, [](TensorNode &self) {
+        for (size_t i = 0; i < self.grad.size(); ++i) {
+            self.inputs[0]->grad[i] += self.grad[i];
+            self.inputs[1]->grad[i] -= self.grad[i];
+        }
+    });
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < a.cols(); ++j)
+            out.at(i, j) = a.at(i, j) - b.at(i, j);
+    return out;
+}
+
+Tensor
+addRowBroadcast(const Tensor &a, const Tensor &bias)
+{
+    checkDefined(a, "addRowBroadcast");
+    checkDefined(bias, "addRowBroadcast");
+    if (bias.rows() != 1 || bias.cols() != a.cols())
+        panic("addRowBroadcast: bias must be 1x", a.cols());
+    const int cols = a.cols();
+    Tensor out =
+        makeResult(a.rows(), cols, {a, bias}, [cols](TensorNode &self) {
+            TensorNode &A = *self.inputs[0];
+            TensorNode &B = *self.inputs[1];
+            for (int i = 0; i < self.rows; ++i) {
+                for (int j = 0; j < cols; ++j) {
+                    double g = self.grad[static_cast<size_t>(i) * cols + j];
+                    A.grad[static_cast<size_t>(i) * cols + j] += g;
+                    B.grad[j] += g;
+                }
+            }
+        });
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < cols; ++j)
+            out.at(i, j) = a.at(i, j) + bias.at(0, j);
+    return out;
+}
+
+Tensor
+hadamard(const Tensor &a, const Tensor &b)
+{
+    checkDefined(a, "hadamard");
+    checkDefined(b, "hadamard");
+    checkSameShape(a, b, "hadamard");
+    Tensor out = makeResult(a.rows(), a.cols(), {a, b}, [](TensorNode &self) {
+        for (size_t i = 0; i < self.grad.size(); ++i) {
+            self.inputs[0]->grad[i] += self.grad[i] * self.inputs[1]->data[i];
+            self.inputs[1]->grad[i] += self.grad[i] * self.inputs[0]->data[i];
+        }
+    });
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < a.cols(); ++j)
+            out.at(i, j) = a.at(i, j) * b.at(i, j);
+    return out;
+}
+
+Tensor
+scale(const Tensor &a, double factor)
+{
+    checkDefined(a, "scale");
+    Tensor out =
+        makeResult(a.rows(), a.cols(), {a}, [factor](TensorNode &self) {
+            for (size_t i = 0; i < self.grad.size(); ++i)
+                self.inputs[0]->grad[i] += self.grad[i] * factor;
+        });
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < a.cols(); ++j)
+            out.at(i, j) = a.at(i, j) * factor;
+    return out;
+}
+
+Tensor
+relu(const Tensor &a)
+{
+    checkDefined(a, "relu");
+    Tensor out = makeResult(a.rows(), a.cols(), {a}, [](TensorNode &self) {
+        for (size_t i = 0; i < self.grad.size(); ++i) {
+            if (self.inputs[0]->data[i] > 0.0)
+                self.inputs[0]->grad[i] += self.grad[i];
+        }
+    });
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < a.cols(); ++j)
+            out.at(i, j) = std::max(0.0, a.at(i, j));
+    return out;
+}
+
+Tensor
+concatCols(const std::vector<Tensor> &parts)
+{
+    if (parts.empty())
+        panic("concatCols: no parts");
+    const int rows = parts[0].rows();
+    int cols = 0;
+    for (const Tensor &p : parts) {
+        checkDefined(p, "concatCols");
+        if (p.rows() != rows)
+            panic("concatCols: row count mismatch");
+        cols += p.cols();
+    }
+    std::vector<int> widths;
+    for (const Tensor &p : parts)
+        widths.push_back(p.cols());
+    Tensor out = makeResult(
+        rows, cols, parts, [widths, cols](TensorNode &self) {
+            for (int i = 0; i < self.rows; ++i) {
+                int offset = 0;
+                for (size_t p = 0; p < widths.size(); ++p) {
+                    TensorNode &in = *self.inputs[p];
+                    for (int j = 0; j < widths[p]; ++j) {
+                        in.grad[static_cast<size_t>(i) * widths[p] + j] +=
+                            self.grad[static_cast<size_t>(i) * cols + offset +
+                                      j];
+                    }
+                    offset += widths[p];
+                }
+            }
+        });
+    for (int i = 0; i < rows; ++i) {
+        int offset = 0;
+        for (const Tensor &p : parts) {
+            for (int j = 0; j < p.cols(); ++j)
+                out.at(i, offset + j) = p.at(i, j);
+            offset += p.cols();
+        }
+    }
+    return out;
+}
+
+Tensor
+gatherRows(const Tensor &a, const std::vector<int> &indices)
+{
+    checkDefined(a, "gatherRows");
+    const int cols = a.cols();
+    for (int idx : indices)
+        if (idx < 0 || idx >= a.rows())
+            panic("gatherRows: index ", idx, " out of range");
+    Tensor out = makeResult(
+        static_cast<int>(indices.size()), cols, {a},
+        [indices, cols](TensorNode &self) {
+            TensorNode &A = *self.inputs[0];
+            for (size_t i = 0; i < indices.size(); ++i) {
+                for (int j = 0; j < cols; ++j) {
+                    A.grad[static_cast<size_t>(indices[i]) * cols + j] +=
+                        self.grad[i * cols + j];
+                }
+            }
+        });
+    for (size_t i = 0; i < indices.size(); ++i)
+        for (int j = 0; j < cols; ++j)
+            out.at(static_cast<int>(i), j) = a.at(indices[i], j);
+    return out;
+}
+
+Tensor
+segmentPool(const Tensor &a, const std::vector<std::vector<int>> &groups,
+            Pool kind)
+{
+    checkDefined(a, "segmentPool");
+    const int cols = a.cols();
+    const int n = static_cast<int>(groups.size());
+    for (const auto &g : groups)
+        for (int idx : g)
+            if (idx < 0 || idx >= a.rows())
+                panic("segmentPool: index ", idx, " out of range");
+
+    // For min/max we record the argmin/argmax per output cell so the
+    // gradient routes to exactly the selected row.
+    auto arg = std::make_shared<std::vector<int>>(
+        static_cast<size_t>(n) * cols, -1);
+
+    Tensor out = makeResult(
+        n, cols, {a}, [groups, cols, kind, arg](TensorNode &self) {
+            TensorNode &A = *self.inputs[0];
+            for (size_t g = 0; g < groups.size(); ++g) {
+                if (groups[g].empty())
+                    continue;
+                for (int j = 0; j < cols; ++j) {
+                    double grad = self.grad[g * cols + j];
+                    if (grad == 0.0)
+                        continue;
+                    switch (kind) {
+                      case Pool::Mean:
+                        for (int idx : groups[g]) {
+                            A.grad[static_cast<size_t>(idx) * cols + j] +=
+                                grad / static_cast<double>(groups[g].size());
+                        }
+                        break;
+                      case Pool::Sum:
+                        for (int idx : groups[g]) {
+                            A.grad[static_cast<size_t>(idx) * cols + j] +=
+                                grad;
+                        }
+                        break;
+                      case Pool::Min:
+                      case Pool::Max: {
+                        int chosen = (*arg)[g * cols + j];
+                        A.grad[static_cast<size_t>(chosen) * cols + j] +=
+                            grad;
+                        break;
+                      }
+                    }
+                }
+            }
+        });
+
+    for (int g = 0; g < n; ++g) {
+        if (groups[g].empty())
+            continue; // zero row, no gradient
+        for (int j = 0; j < cols; ++j) {
+            double value;
+            int chosen = groups[g][0];
+            switch (kind) {
+              case Pool::Mean:
+              case Pool::Sum: {
+                double acc = 0.0;
+                for (int idx : groups[g])
+                    acc += a.at(idx, j);
+                value = (kind == Pool::Mean)
+                            ? acc / static_cast<double>(groups[g].size())
+                            : acc;
+                break;
+              }
+              case Pool::Min: {
+                value = a.at(chosen, j);
+                for (int idx : groups[g]) {
+                    if (a.at(idx, j) < value) {
+                        value = a.at(idx, j);
+                        chosen = idx;
+                    }
+                }
+                break;
+              }
+              case Pool::Max: {
+                value = a.at(chosen, j);
+                for (int idx : groups[g]) {
+                    if (a.at(idx, j) > value) {
+                        value = a.at(idx, j);
+                        chosen = idx;
+                    }
+                }
+                break;
+              }
+              default:
+                panic("segmentPool: bad kind");
+            }
+            out.at(g, j) = value;
+            (*arg)[static_cast<size_t>(g) * cols + j] = chosen;
+        }
+    }
+    return out;
+}
+
+Tensor
+scaleRows(const Tensor &a, const Tensor &gate)
+{
+    checkDefined(a, "scaleRows");
+    checkDefined(gate, "scaleRows");
+    if (gate.rows() != a.rows() || gate.cols() != 1)
+        panic("scaleRows: gate must be ", a.rows(), "x1");
+    const int cols = a.cols();
+    Tensor out =
+        makeResult(a.rows(), cols, {a, gate}, [cols](TensorNode &self) {
+            TensorNode &A = *self.inputs[0];
+            TensorNode &G = *self.inputs[1];
+            for (int i = 0; i < self.rows; ++i) {
+                double gv = G.data[i];
+                for (int j = 0; j < cols; ++j) {
+                    double g = self.grad[static_cast<size_t>(i) * cols + j];
+                    A.grad[static_cast<size_t>(i) * cols + j] += g * gv;
+                    G.grad[i] +=
+                        g * A.data[static_cast<size_t>(i) * cols + j];
+                }
+            }
+        });
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < cols; ++j)
+            out.at(i, j) = a.at(i, j) * gate.at(i, 0);
+    return out;
+}
+
+Tensor
+mseLoss(const Tensor &pred, const Tensor &target)
+{
+    checkDefined(pred, "mseLoss");
+    checkDefined(target, "mseLoss");
+    checkSameShape(pred, target, "mseLoss");
+    const double count = static_cast<double>(pred.size());
+    Tensor out = makeResult(1, 1, {pred, target}, [count](TensorNode &self) {
+        TensorNode &P = *self.inputs[0];
+        TensorNode &T = *self.inputs[1];
+        double g = self.grad[0];
+        for (size_t i = 0; i < P.data.size(); ++i) {
+            double d = 2.0 * (P.data[i] - T.data[i]) / count;
+            P.grad[i] += g * d;
+            T.grad[i] -= g * d;
+        }
+    });
+    double acc = 0.0;
+    for (int i = 0; i < pred.rows(); ++i)
+        for (int j = 0; j < pred.cols(); ++j) {
+            double d = pred.at(i, j) - target.at(i, j);
+            acc += d * d;
+        }
+    out.at(0, 0) = acc / count;
+    return out;
+}
+
+Tensor
+sum(const Tensor &a)
+{
+    checkDefined(a, "sum");
+    Tensor out = makeResult(1, 1, {a}, [](TensorNode &self) {
+        for (double &g : self.inputs[0]->grad)
+            g += self.grad[0];
+    });
+    double acc = 0.0;
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < a.cols(); ++j)
+            acc += a.at(i, j);
+    out.at(0, 0) = acc;
+    return out;
+}
+
+} // namespace lisa::nn

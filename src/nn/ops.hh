@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Differentiable operations over Tensor.
+ *
+ * Besides the dense basics (matmul, add, relu, ...), this provides the
+ * graph-aware segment pooling the paper's message-passing layers need
+ * (Eq. 1: min/max/mean over neighbour messages) and row scaling for the
+ * normalization gate of Eq. 6.
+ */
+
+#ifndef LISA_NN_OPS_HH
+#define LISA_NN_OPS_HH
+
+#include <vector>
+
+#include "nn/tensor.hh"
+
+namespace lisa::nn {
+
+/** Matrix product: (n x k) * (k x m) -> (n x m). */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** Elementwise sum of equal shapes. */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** Elementwise difference of equal shapes. */
+Tensor sub(const Tensor &a, const Tensor &b);
+
+/** Add a (1 x c) bias row to every row of a (n x c) tensor. */
+Tensor addRowBroadcast(const Tensor &a, const Tensor &bias);
+
+/** Elementwise product of equal shapes. */
+Tensor hadamard(const Tensor &a, const Tensor &b);
+
+/** Multiply by a constant. */
+Tensor scale(const Tensor &a, double factor);
+
+/** Elementwise max(x, 0). */
+Tensor relu(const Tensor &a);
+
+/** Horizontal concatenation of tensors with equal row counts. */
+Tensor concatCols(const std::vector<Tensor> &parts);
+
+/** Select rows by index (with repetition allowed): out.row(i) =
+ *  a.row(indices[i]). */
+Tensor gatherRows(const Tensor &a, const std::vector<int> &indices);
+
+/** Pooling kind for segmentPool. */
+enum class Pool
+{
+    Min,
+    Max,
+    Mean,
+    Sum,
+};
+
+/**
+ * Grouped pooling: out.row(g) pools a's rows listed in groups[g].
+ * Empty groups produce zero rows (and receive no gradient). Used to
+ * aggregate neighbour messages per DFG node.
+ */
+Tensor segmentPool(const Tensor &a, const std::vector<std::vector<int>> &groups,
+                   Pool kind);
+
+/** Scale each row i of a (n x c) tensor by gate (n x 1): out(i,j) =
+ *  a(i,j) * gate(i,0). Differentiable in both operands (Eq. 6's nu *
+ *  (W3 h1)). */
+Tensor scaleRows(const Tensor &a, const Tensor &gate);
+
+/** Mean squared error between equal shapes; returns a 1x1 tensor. */
+Tensor mseLoss(const Tensor &pred, const Tensor &target);
+
+/** Sum of all elements; returns a 1x1 tensor. */
+Tensor sum(const Tensor &a);
+
+} // namespace lisa::nn
+
+#endif // LISA_NN_OPS_HH

@@ -1,0 +1,49 @@
+#include "nn/optimizer.hh"
+
+#include <cmath>
+
+namespace lisa::nn {
+
+Adam::Adam(AdamConfig config) : cfg(config) {}
+
+void
+Adam::attach(const Module &module)
+{
+    for (const auto &[name, t] : module.parameters()) {
+        Slot slot;
+        slot.param = t;
+        slot.m.assign(t.size(), 0.0);
+        slot.v.assign(t.size(), 0.0);
+        slots.push_back(std::move(slot));
+    }
+}
+
+void
+Adam::step()
+{
+    ++t;
+    const double bc1 = 1.0 - std::pow(cfg.beta1, static_cast<double>(t));
+    const double bc2 = 1.0 - std::pow(cfg.beta2, static_cast<double>(t));
+    for (Slot &slot : slots) {
+        auto node = slot.param.raw();
+        for (size_t i = 0; i < node->data.size(); ++i) {
+            double g = node->grad[i] + cfg.weightDecay * node->data[i];
+            slot.m[i] = cfg.beta1 * slot.m[i] + (1.0 - cfg.beta1) * g;
+            slot.v[i] = cfg.beta2 * slot.v[i] + (1.0 - cfg.beta2) * g * g;
+            double mhat = slot.m[i] / bc1;
+            double vhat = slot.v[i] / bc2;
+            node->data[i] -=
+                cfg.learningRate * mhat / (std::sqrt(vhat) + cfg.epsilon);
+            node->grad[i] = 0.0;
+        }
+    }
+}
+
+void
+Adam::zeroGrad()
+{
+    for (Slot &slot : slots)
+        slot.param.zeroGrad();
+}
+
+} // namespace lisa::nn

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Adam optimizer with decoupled L2 weight decay, matching the paper's
+ * training setup (learning rate 0.001, weight decay 0.0005).
+ */
+
+#ifndef LISA_NN_OPTIMIZER_HH
+#define LISA_NN_OPTIMIZER_HH
+
+#include <vector>
+
+#include "nn/module.hh"
+#include "nn/tensor.hh"
+
+namespace lisa::nn {
+
+/** Adam hyper-parameters. */
+struct AdamConfig
+{
+    double learningRate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weightDecay = 5e-4;
+};
+
+/** Adam over the parameters of one or more modules. */
+class Adam
+{
+  public:
+    explicit Adam(AdamConfig config = {});
+
+    /** Track all parameters of @p module. */
+    void attach(const Module &module);
+
+    /** Apply one update from the accumulated gradients, then clear them. */
+    void step();
+
+    /** Clear gradients without updating. */
+    void zeroGrad();
+
+  private:
+    struct Slot
+    {
+        Tensor param;
+        std::vector<double> m;
+        std::vector<double> v;
+    };
+
+    AdamConfig cfg;
+    std::vector<Slot> slots;
+    long t = 0;
+};
+
+} // namespace lisa::nn
+
+#endif // LISA_NN_OPTIMIZER_HH

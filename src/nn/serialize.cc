@@ -1,0 +1,98 @@
+#include "nn/serialize.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace lisa::nn {
+
+void
+saveModule(const Module &module, const std::string &model_name,
+           std::ostream &os)
+{
+    os << "lisa-model " << model_name << '\n';
+    os << std::setprecision(17);
+    for (const auto &[name, t] : module.parameters()) {
+        os << "param " << name << ' ' << t.rows() << ' ' << t.cols() << '\n';
+        for (int i = 0; i < t.rows(); ++i) {
+            for (int j = 0; j < t.cols(); ++j) {
+                if (j)
+                    os << ' ';
+                os << t.at(i, j);
+            }
+            os << '\n';
+        }
+    }
+}
+
+bool
+loadModule(Module &module, std::istream &is, std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+
+    std::string magic, model_name;
+    if (!(is >> magic >> model_name) || magic != "lisa-model")
+        return fail("missing lisa-model header");
+
+    std::map<std::string, std::vector<double>> loaded;
+    std::map<std::string, std::pair<int, int>> shapes;
+    std::string kind;
+    while (is >> kind) {
+        if (kind != "param")
+            return fail("unexpected record '" + kind + "'");
+        std::string name;
+        int rows, cols;
+        if (!(is >> name >> rows >> cols) || rows <= 0 || cols <= 0)
+            return fail("malformed param header");
+        std::vector<double> values(static_cast<size_t>(rows) * cols);
+        for (double &v : values)
+            if (!(is >> v))
+                return fail("truncated values for '" + name + "'");
+        loaded[name] = std::move(values);
+        shapes[name] = {rows, cols};
+    }
+
+    for (const auto &[name, t] : module.parameters()) {
+        auto it = loaded.find(name);
+        if (it == loaded.end())
+            return fail("missing parameter '" + name + "'");
+        auto [rows, cols] = shapes[name];
+        if (rows != t.rows() || cols != t.cols())
+            return fail("shape mismatch for '" + name + "'");
+        auto node = t.raw();
+        node->data = it->second;
+    }
+    return true;
+}
+
+bool
+saveModuleFile(const Module &module, const std::string &model_name,
+               const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    saveModule(module, model_name, os);
+    return static_cast<bool>(os);
+}
+
+bool
+loadModuleFile(Module &module, const std::string &path, std::string *error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        if (error)
+            *error = "cannot open '" + path + "'";
+        return false;
+    }
+    return loadModule(module, is, error);
+}
+
+} // namespace lisa::nn

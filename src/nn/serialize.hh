@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Plain-text save/load of module parameters. Models trained for one
+ * accelerator are cached on disk so benchmark binaries can share them.
+ *
+ * Format:
+ * @code
+ *   lisa-model <modelName>
+ *   param <name> <rows> <cols>
+ *   <rows*cols whitespace-separated doubles>
+ * @endcode
+ */
+
+#ifndef LISA_NN_SERIALIZE_HH
+#define LISA_NN_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/module.hh"
+
+namespace lisa::nn {
+
+/** Write all parameters of @p module. */
+void saveModule(const Module &module, const std::string &model_name,
+                std::ostream &os);
+
+/**
+ * Load parameters into @p module, matching by name and shape.
+ * @return false (with @p error filled if non-null) on malformed input,
+ * missing parameters, or shape mismatches.
+ */
+bool loadModule(Module &module, std::istream &is,
+                std::string *error = nullptr);
+
+/** Save to a file path; returns false on I/O failure. */
+bool saveModuleFile(const Module &module, const std::string &model_name,
+                    const std::string &path);
+
+/** Load from a file path; returns false when absent or malformed. */
+bool loadModuleFile(Module &module, const std::string &path,
+                    std::string *error = nullptr);
+
+} // namespace lisa::nn
+
+#endif // LISA_NN_SERIALIZE_HH

@@ -1,0 +1,92 @@
+#include "nn/tensor.hh"
+
+#include <unordered_set>
+
+#include "support/logging.hh"
+
+namespace lisa::nn {
+
+Tensor::Tensor(int rows, int cols, bool requires_grad)
+{
+    if (rows <= 0 || cols <= 0)
+        panic("Tensor: non-positive shape (", rows, "x", cols, ")");
+    node = std::make_shared<TensorNode>();
+    node->rows = rows;
+    node->cols = cols;
+    node->data.assign(static_cast<size_t>(rows) * cols, 0.0);
+    node->grad.assign(static_cast<size_t>(rows) * cols, 0.0);
+    node->requiresGrad = requires_grad;
+}
+
+Tensor
+Tensor::fromValues(int rows, int cols, const std::vector<double> &values,
+                   bool requires_grad)
+{
+    if (values.size() != static_cast<size_t>(rows) * cols)
+        panic("Tensor::fromValues: value count mismatch");
+    Tensor t(rows, cols, requires_grad);
+    t.node->data = values;
+    return t;
+}
+
+Tensor
+Tensor::scalar(double value, bool requires_grad)
+{
+    Tensor t(1, 1, requires_grad);
+    t.node->data[0] = value;
+    return t;
+}
+
+double
+Tensor::item() const
+{
+    if (!node || node->rows != 1 || node->cols != 1)
+        panic("Tensor::item: not a 1x1 tensor");
+    return node->data[0];
+}
+
+void
+Tensor::zeroGrad()
+{
+    std::fill(node->grad.begin(), node->grad.end(), 0.0);
+}
+
+void
+Tensor::backward()
+{
+    if (!node || node->rows != 1 || node->cols != 1)
+        panic("Tensor::backward: can only backprop from a scalar");
+
+    // Topological order over the DAG reachable from this node.
+    std::vector<TensorNode *> order;
+    std::unordered_set<TensorNode *> visited;
+    std::vector<std::pair<TensorNode *, size_t>> stack;
+    stack.emplace_back(node.get(), 0);
+    visited.insert(node.get());
+    while (!stack.empty()) {
+        auto &[n, idx] = stack.back();
+        if (idx < n->inputs.size()) {
+            TensorNode *child = n->inputs[idx++].get();
+            if (visited.insert(child).second)
+                stack.emplace_back(child, 0);
+        } else {
+            order.push_back(n);
+            stack.pop_back();
+        }
+    }
+
+    // Zero intermediate grads (leaves keep accumulating across calls until
+    // the optimizer clears them).
+    for (TensorNode *n : order) {
+        if (!n->inputs.empty() || n == node.get())
+            std::fill(n->grad.begin(), n->grad.end(), 0.0);
+    }
+
+    node->grad[0] = 1.0;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        if ((*it)->backward)
+            (*it)->backward(**it);
+    }
+}
+
+} // namespace lisa::nn

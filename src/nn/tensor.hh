@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A small dense 2-D tensor with reverse-mode automatic differentiation.
+ *
+ * Tensor is a cheap value-semantic handle onto a shared node in the
+ * computation graph. Operations (nn/ops.hh) build the graph; calling
+ * backward() on a scalar result propagates gradients into every tensor
+ * created with requires_grad = true.
+ *
+ * This is the substrate that replaces PyTorch Geometric for the paper's
+ * label-prediction networks; the networks are tiny (hidden width equal to
+ * the attribute count), so a dense double-precision implementation is both
+ * exact and fast.
+ */
+
+#ifndef LISA_NN_TENSOR_HH
+#define LISA_NN_TENSOR_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace lisa::nn {
+
+class Tensor;
+
+/** Shared state of one tensor / computation-graph node. */
+struct TensorNode
+{
+    int rows = 0;
+    int cols = 0;
+    std::vector<double> data;
+    std::vector<double> grad;
+    bool requiresGrad = false;
+    /** Graph parents (operands of the op that produced this node). */
+    std::vector<std::shared_ptr<TensorNode>> inputs;
+    /** Accumulates this node's grad into its inputs' grads. */
+    std::function<void(TensorNode &)> backward;
+
+    double &at(int r, int c) { return data[static_cast<size_t>(r) * cols + c]; }
+    double at(int r, int c) const
+    {
+        return data[static_cast<size_t>(r) * cols + c];
+    }
+    double &gradAt(int r, int c)
+    {
+        return grad[static_cast<size_t>(r) * cols + c];
+    }
+};
+
+/** Value-semantic handle to a TensorNode. */
+class Tensor
+{
+  public:
+    /** Empty (null) tensor; most operations reject it. */
+    Tensor() = default;
+
+    /** Zero-filled tensor of shape (rows, cols). */
+    Tensor(int rows, int cols, bool requires_grad = false);
+
+    /** Build from explicit row-major values. */
+    static Tensor fromValues(int rows, int cols,
+                             const std::vector<double> &values,
+                             bool requires_grad = false);
+
+    /** 1x1 tensor. */
+    static Tensor scalar(double value, bool requires_grad = false);
+
+    bool defined() const { return node != nullptr; }
+    int rows() const { return node->rows; }
+    int cols() const { return node->cols; }
+    size_t size() const { return node->data.size(); }
+
+    double at(int r, int c) const { return node->at(r, c); }
+    double &at(int r, int c) { return node->at(r, c); }
+    double gradAt(int r, int c) const
+    {
+        return node->grad[static_cast<size_t>(r) * node->cols + c];
+    }
+
+    /** Scalar value of a 1x1 tensor. */
+    double item() const;
+
+    bool requiresGrad() const { return node->requiresGrad; }
+
+    /** Clear accumulated gradients on this tensor only. */
+    void zeroGrad();
+
+    /**
+     * Reverse-mode backprop from this scalar (1x1) tensor: topologically
+     * sorts the graph, seeds d(self)/d(self) = 1 and runs every node's
+     * backward function.
+     */
+    void backward();
+
+    /** Raw node access (optimizer / serialization internals). */
+    const std::shared_ptr<TensorNode> &raw() const { return node; }
+
+    /** Wrap an existing node. */
+    explicit Tensor(std::shared_ptr<TensorNode> n) : node(std::move(n)) {}
+
+  private:
+    std::shared_ptr<TensorNode> node;
+};
+
+} // namespace lisa::nn
+
+#endif // LISA_NN_TENSOR_HH

@@ -1,0 +1,50 @@
+#include "power/power_model.hh"
+
+#include "support/logging.hh"
+
+namespace lisa::power {
+
+PowerReport
+evaluatePower(const map::Mapping &mapping, const PowerParams &params)
+{
+    if (!mapping.valid())
+        panic("evaluatePower: mapping is not valid");
+
+    const auto &mrrg = mapping.mrrg();
+    const auto &dfg = mapping.dfg();
+    const int ii = mrrg.ii();
+    const int pes = mrrg.accel().numPes();
+
+    PowerReport report;
+    report.computeSlots = static_cast<int>(dfg.numNodes());
+    for (size_t e = 0; e < dfg.numEdges(); ++e) {
+        for (int res : mapping.route(static_cast<dfg::EdgeId>(e))) {
+            if (mrrg.resource(res).kind == arch::ResourceKind::Fu)
+                ++report.routeSlots;
+            else
+                ++report.registerSlots;
+        }
+    }
+
+    // Activity is charged per II window, averaged over the window.
+    const double window = static_cast<double>(ii);
+    const double busy_fu = report.computeSlots + report.routeSlots;
+    const double idle_fu =
+        std::max(0.0, static_cast<double>(pes) * window - busy_fu);
+
+    report.totalPowerMw =
+        (params.computeMw * report.computeSlots +
+         params.routeMw * report.routeSlots +
+         params.registerMw * report.registerSlots + params.idleMw * idle_fu) /
+            window +
+        params.staticPerPeMw * pes;
+
+    // One loop iteration (numNodes ops) completes every II cycles.
+    const double ops_per_second = static_cast<double>(dfg.numNodes()) *
+                                  params.frequencyMhz * 1e6 / window;
+    report.mopsPerWatt =
+        (ops_per_second / 1e6) / (report.totalPowerMw / 1e3);
+    return report;
+}
+
+} // namespace lisa::power

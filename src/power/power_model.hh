@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Activity-based power model for mapped kernels.
+ *
+ * The paper synthesizes its CGRAs at 22 nm / 100 MHz and reports
+ * performance-per-Watt normalized to LISA (Fig 10). Only relative activity
+ * matters for that comparison, so this model charges per-II-window
+ * activity: compute slots, route-through slots, register holds, and idle /
+ * static power per PE. Parameters default to values representative of
+ * low-power CGRA PEs at that node.
+ */
+
+#ifndef LISA_POWER_POWER_MODEL_HH
+#define LISA_POWER_POWER_MODEL_HH
+
+#include "mapping/mapping.hh"
+
+namespace lisa::power {
+
+/** Per-activity power parameters (mW at the target frequency). */
+struct PowerParams
+{
+    double computeMw = 0.32;  ///< PE executing an op, per active cycle
+    double routeMw = 0.19;    ///< PE forwarding a value, per cycle
+    double registerMw = 0.05; ///< register holding a value, per cycle
+    double idleMw = 0.03;     ///< clocked but inactive PE, per cycle
+    double staticPerPeMw = 0.02; ///< leakage, always on
+    double frequencyMhz = 100.0;
+};
+
+/** Power/performance summary of one valid mapping. */
+struct PowerReport
+{
+    double totalPowerMw = 0.0;
+    /** Operations per second / Watt, in MOPS/W. */
+    double mopsPerWatt = 0.0;
+    int computeSlots = 0;
+    int routeSlots = 0;
+    int registerSlots = 0;
+};
+
+/** Evaluate a valid mapping at its MRRG's II. */
+PowerReport evaluatePower(const map::Mapping &mapping,
+                          const PowerParams &params = {});
+
+} // namespace lisa::power
+
+#endif // LISA_POWER_POWER_MODEL_HH

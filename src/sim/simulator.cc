@@ -1,0 +1,353 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace lisa::sim {
+
+namespace {
+
+/** Token identity: producing node + iteration. */
+struct Token
+{
+    dfg::NodeId node;
+    int iteration;
+
+    bool
+    operator==(const Token &other) const
+    {
+        return node == other.node && iteration == other.iteration;
+    }
+};
+
+/** (resource, absolute cycle) key for the token map. */
+int64_t
+slotKey(int res, int cycle, int num_resources)
+{
+    return static_cast<int64_t>(cycle) * num_resources + res;
+}
+
+/** Firing cycle of node @p v in iteration @p i. */
+int
+fireCycle(int node_time, int i, int ii)
+{
+    return node_time + i * ii;
+}
+
+} // namespace
+
+int64_t
+defaultInput(const dfg::Node &node, int iteration)
+{
+    // Small, varied, deterministic values; avoid zeros so multiplies stay
+    // informative.
+    return ((node.id * 7 + 3) % 11) + iteration + 1;
+}
+
+int64_t
+evalOp(dfg::OpCode op, const std::vector<int64_t> &operands)
+{
+    auto arg = [&](size_t i) -> int64_t {
+        return i < operands.size() ? operands[i] : 0;
+    };
+    switch (op) {
+      case dfg::OpCode::Add: {
+        int64_t acc = 0;
+        for (int64_t v : operands)
+            acc += v;
+        return acc;
+      }
+      case dfg::OpCode::Sub:
+        return arg(0) - arg(1);
+      case dfg::OpCode::Mul: {
+        int64_t acc = 1;
+        for (int64_t v : operands)
+            acc *= v;
+        return acc;
+      }
+      case dfg::OpCode::Div:
+        return arg(1) == 0 ? 0 : arg(0) / arg(1);
+      case dfg::OpCode::And:
+        return arg(0) & arg(1);
+      case dfg::OpCode::Or:
+        return arg(0) | arg(1);
+      case dfg::OpCode::Xor:
+        return arg(0) ^ arg(1);
+      case dfg::OpCode::Shl:
+        return arg(0) << (arg(1) & 63);
+      case dfg::OpCode::Shr:
+        return static_cast<int64_t>(static_cast<uint64_t>(arg(0)) >>
+                                    (arg(1) & 63));
+      case dfg::OpCode::Cmp:
+        return arg(0) < arg(1) ? 1 : 0;
+      case dfg::OpCode::Select:
+        return arg(0) != 0 ? arg(1) : arg(2);
+      case dfg::OpCode::Store:
+        return arg(0);
+      case dfg::OpCode::Load:
+      case dfg::OpCode::Const:
+        panic("evalOp: loads/consts take values from the InputProvider");
+    }
+    panic("evalOp: unknown opcode");
+}
+
+std::vector<StoreRecord>
+interpretReference(const dfg::Dfg &dfg, int iterations,
+                   const InputProvider &inputs)
+{
+    dfg::Analysis analysis(dfg);
+    std::vector<std::vector<int64_t>> values(
+        dfg.numNodes(), std::vector<int64_t>(iterations, 0));
+    std::vector<StoreRecord> stores;
+
+    for (int i = 0; i < iterations; ++i) {
+        for (dfg::NodeId v : analysis.topoOrder()) {
+            const dfg::Node &node = dfg.node(v);
+            if (node.op == dfg::OpCode::Load ||
+                node.op == dfg::OpCode::Const) {
+                values[v][i] = inputs(node, i);
+                continue;
+            }
+            std::vector<int64_t> operands;
+            for (dfg::EdgeId e : dfg.inEdges(v)) {
+                const dfg::Edge &edge = dfg.edge(e);
+                int j = i - edge.iterDistance;
+                operands.push_back(j >= 0 ? values[edge.src][j] : 0);
+            }
+            values[v][i] = evalOp(node.op, operands);
+            if (node.op == dfg::OpCode::Store)
+                stores.push_back(StoreRecord{v, i, values[v][i], 0});
+        }
+    }
+    return stores;
+}
+
+SimResult
+simulate(const map::Mapping &mapping, int iterations,
+         const InputProvider &inputs)
+{
+    SimResult result;
+    if (!mapping.valid()) {
+        result.error = "mapping is not valid";
+        return result;
+    }
+    if (iterations < 1) {
+        result.error = "need at least one iteration";
+        return result;
+    }
+
+    const dfg::Dfg &dfg = mapping.dfg();
+    const arch::Mrrg &mrrg = mapping.mrrg();
+    const bool temporal = mrrg.accel().temporalMapping();
+    // Spatial-only arrays pipeline with an effective II of one.
+    const int ii = temporal ? mrrg.ii() : 1;
+    const int num_res = mrrg.numResources();
+
+    // Firing offsets: schedule times on CGRAs; dataflow depth (computed
+    // from route lengths) on spatial-only arrays.
+    std::vector<int> node_time(dfg.numNodes(), 0);
+    dfg::Analysis analysis(dfg);
+    if (temporal) {
+        for (size_t v = 0; v < dfg.numNodes(); ++v)
+            node_time[v] =
+                mapping.placement(static_cast<dfg::NodeId>(v)).time;
+    } else {
+        for (dfg::NodeId v : analysis.topoOrder()) {
+            for (dfg::EdgeId e : dfg.inEdges(v)) {
+                const dfg::Edge &edge = dfg.edge(e);
+                if (edge.iterDistance != 0)
+                    continue;
+                int arrive = node_time[edge.src] +
+                             static_cast<int>(mapping.route(e).size()) + 1;
+                node_time[v] = std::max(node_time[v], arrive);
+            }
+        }
+    }
+
+    // All firings, in time order.
+    struct Firing
+    {
+        int cycle;
+        dfg::NodeId node;
+        int iteration;
+    };
+    std::vector<Firing> firings;
+    firings.reserve(dfg.numNodes() * static_cast<size_t>(iterations));
+    for (int i = 0; i < iterations; ++i) {
+        for (size_t v = 0; v < dfg.numNodes(); ++v) {
+            firings.push_back(Firing{fireCycle(node_time[v], i, ii),
+                                     static_cast<dfg::NodeId>(v), i});
+        }
+    }
+    std::stable_sort(firings.begin(), firings.end(),
+                     [](const Firing &a, const Firing &b) {
+                         return a.cycle < b.cycle;
+                     });
+
+    std::unordered_map<int64_t, Token> tokens;
+    auto place_token = [&](int res, int cycle, Token token,
+                           std::string *error) {
+        auto [it, inserted] =
+            tokens.emplace(slotKey(res, cycle, num_res), token);
+        if (!inserted && !(it->second == token)) {
+            *error = "resource conflict at cycle " + std::to_string(cycle);
+            return false;
+        }
+        return true;
+    };
+
+    std::vector<std::vector<int64_t>> values(
+        dfg.numNodes(), std::vector<int64_t>(iterations, 0));
+
+    for (const Firing &f : firings) {
+        const dfg::Node &node = dfg.node(f.node);
+        const map::Placement &pl = mapping.placement(f.node);
+
+        // Gather operands, checking physical delivery for each in-edge.
+        std::vector<int64_t> operands;
+        for (dfg::EdgeId e : dfg.inEdges(f.node)) {
+            const dfg::Edge &edge = dfg.edge(e);
+            const int j = f.iteration - edge.iterDistance;
+            if (j < 0) {
+                operands.push_back(0); // pre-loop value
+                continue;
+            }
+            operands.push_back(values[edge.src][j]);
+
+            const int read_cycle = f.cycle - 1;
+            const Token want{edge.src, j};
+
+            if (!temporal) {
+                if (edge.src == f.node && edge.iterDistance == 1) {
+                    // Internal MAC feedback: the PE accumulates locally.
+                    continue;
+                }
+                if (edge.iterDistance != 0) {
+                    result.error =
+                        "spatial-only architectures support loop-carried "
+                        "dependencies only as same-PE accumulators "
+                        "(distance 1)";
+                    return result;
+                }
+                // Streams arrive when their forwarding chain delivers
+                // them; non-critical operands wait in per-input skew
+                // buffers (standard systolic practice), so arrival must
+                // not be later than the read.
+                const auto &path = mapping.route(e);
+                const int holder =
+                    path.empty()
+                        ? mrrg.fuId(mapping.placement(edge.src).pe, 0)
+                        : path.back();
+                const int arrival =
+                    fireCycle(node_time[edge.src], j, ii) +
+                    static_cast<int>(path.size());
+                auto it = tokens.find(slotKey(holder, arrival, num_res));
+                if (arrival > read_cycle || it == tokens.end() ||
+                    !(it->second == want)) {
+                    result.error = "edge " + std::to_string(e) +
+                                   " stream not delivered to node " +
+                                   std::to_string(f.node);
+                    return result;
+                }
+                continue;
+            }
+
+            bool delivered = false;
+            for (int res : mrrg.feeders(pl.pe, pl.time)) {
+                auto it = tokens.find(slotKey(res, read_cycle, num_res));
+                if (it != tokens.end() && it->second == want) {
+                    delivered = true;
+                    break;
+                }
+            }
+            if (!delivered) {
+                result.error = "edge " + std::to_string(e) +
+                               " value not delivered to node " +
+                               std::to_string(f.node) + " at cycle " +
+                               std::to_string(f.cycle);
+                return result;
+            }
+        }
+
+        // Execute.
+        int64_t value;
+        if (node.op == dfg::OpCode::Load || node.op == dfg::OpCode::Const)
+            value = inputs(node, f.iteration);
+        else
+            value = evalOp(node.op, operands);
+        values[f.node][f.iteration] = value;
+        if (node.op == dfg::OpCode::Store) {
+            result.stores.push_back(
+                StoreRecord{f.node, f.iteration, value, f.cycle});
+        }
+        result.cycles = std::max(result.cycles, f.cycle + 1);
+
+        // Emit tokens: the FU output this cycle, then every route hop.
+        const Token token{f.node, f.iteration};
+        std::string error;
+        if (!place_token(mrrg.fuId(pl.pe, pl.time), f.cycle, token,
+                         &error)) {
+            result.error = std::move(error);
+            return result;
+        }
+        for (dfg::EdgeId e : dfg.outEdges(f.node)) {
+            const auto &path = mapping.route(e);
+            for (size_t s = 0; s < path.size(); ++s) {
+                if (!place_token(path[s],
+                                 f.cycle + static_cast<int>(s) + 1, token,
+                                 &error)) {
+                    result.error = std::move(error);
+                    return result;
+                }
+            }
+        }
+    }
+
+    result.finalValues.resize(dfg.numNodes());
+    for (size_t v = 0; v < dfg.numNodes(); ++v)
+        result.finalValues[v] = values[v][iterations - 1];
+    result.ok = true;
+    return result;
+}
+
+bool
+verifyMapping(const map::Mapping &mapping, int iterations,
+              std::string *error)
+{
+    SimResult sim = simulate(mapping, iterations, defaultInput);
+    if (!sim.ok) {
+        if (error)
+            *error = sim.error;
+        return false;
+    }
+    auto ref =
+        interpretReference(mapping.dfg(), iterations, defaultInput);
+
+    auto order = [](const StoreRecord &a, const StoreRecord &b) {
+        return std::tie(a.iteration, a.node) < std::tie(b.iteration, b.node);
+    };
+    std::sort(sim.stores.begin(), sim.stores.end(), order);
+    std::sort(ref.begin(), ref.end(), order);
+    if (sim.stores.size() != ref.size()) {
+        if (error)
+            *error = "store count mismatch";
+        return false;
+    }
+    for (size_t i = 0; i < ref.size(); ++i) {
+        if (sim.stores[i].node != ref[i].node ||
+            sim.stores[i].iteration != ref[i].iteration ||
+            sim.stores[i].value != ref[i].value) {
+            if (error) {
+                *error = "store mismatch at record " + std::to_string(i) +
+                         ": got " + std::to_string(sim.stores[i].value) +
+                         ", expected " + std::to_string(ref[i].value);
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace lisa::sim

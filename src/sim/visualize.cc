@@ -1,0 +1,103 @@
+#include "sim/visualize.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/config_emit.hh"
+#include "support/logging.hh"
+
+namespace lisa::sim {
+
+void
+writeMappingGrid(const map::Mapping &mapping, std::ostream &os)
+{
+    Configuration config = extractConfiguration(mapping);
+    const auto &accel = mapping.mrrg().accel();
+
+    // Recover grid bounds from the PE coordinates.
+    int rows = 0, cols = 0;
+    for (int pe = 0; pe < accel.numPes(); ++pe) {
+        rows = std::max(rows, accel.peCoord(pe).row + 1);
+        cols = std::max(cols, accel.peCoord(pe).col + 1);
+    }
+
+    os << mapping.dfg().name() << " on " << accel.name()
+       << " (II=" << mapping.mrrg().ii() << ")\n";
+    for (size_t t = 0; t < config.size(); ++t) {
+        os << "-- cycle " << t << " --\n";
+        for (int r = 0; r < rows; ++r) {
+            for (int c = 0; c < cols; ++c) {
+                // Find the PE at (r, c); grids are dense in our models.
+                int pe = -1;
+                for (int p = 0; p < accel.numPes(); ++p) {
+                    if (accel.peCoord(p).row == r &&
+                        accel.peCoord(p).col == c) {
+                        pe = p;
+                        break;
+                    }
+                }
+                std::string cell = ".";
+                if (pe >= 0) {
+                    const PeConfig &pc = config[t][pe];
+                    std::ostringstream s;
+                    switch (pc.role) {
+                      case PeConfig::Role::Compute:
+                        s << 'n' << pc.node;
+                        break;
+                      case PeConfig::Role::Route:
+                        s << '~' << pc.node;
+                        break;
+                      case PeConfig::Role::Nop:
+                        s << '.';
+                        break;
+                    }
+                    if (!pc.registerValues.empty())
+                        s << '+' << pc.registerValues.size() << 'r';
+                    cell = s.str();
+                }
+                os << std::left << std::setw(8) << cell;
+            }
+            os << '\n';
+        }
+    }
+}
+
+std::string
+mappingGridToText(const map::Mapping &mapping)
+{
+    std::ostringstream os;
+    writeMappingGrid(mapping, os);
+    return os.str();
+}
+
+std::string
+utilizationSummary(const map::Mapping &mapping)
+{
+    Configuration config = extractConfiguration(mapping);
+    int compute = 0, route = 0, idle = 0, regs = 0;
+    for (const auto &layer : config) {
+        for (const PeConfig &pc : layer) {
+            switch (pc.role) {
+              case PeConfig::Role::Compute:
+                ++compute;
+                break;
+              case PeConfig::Role::Route:
+                ++route;
+                break;
+              case PeConfig::Role::Nop:
+                ++idle;
+                break;
+            }
+            regs += static_cast<int>(pc.registerValues.size());
+        }
+    }
+    std::ostringstream os;
+    const int total = compute + route + idle;
+    os << "FU slots/II: " << compute << " compute, " << route << " route, "
+       << idle << " idle (" << total << " total); " << regs
+       << " register slots";
+    return os.str();
+}
+
+} // namespace lisa::sim

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * ASCII visualization of mappings: one PE grid per II layer showing which
+ * node computes where, what is being forwarded, and register pressure —
+ * the quickest way to eyeball why a mapping is tight or wasteful.
+ */
+
+#ifndef LISA_SIM_VISUALIZE_HH
+#define LISA_SIM_VISUALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "mapping/mapping.hh"
+
+namespace lisa::sim {
+
+/** Render one grid per II layer; cells show "nN" (compute), "~N"
+ *  (forwarding value N) or "." (idle), with a register-use suffix. */
+void writeMappingGrid(const map::Mapping &mapping, std::ostream &os);
+
+/** Render to a string. */
+std::string mappingGridToText(const map::Mapping &mapping);
+
+/**
+ * One-line utilization summary: compute / route / idle FU slots and
+ * register slots used per II window.
+ */
+std::string utilizationSummary(const map::Mapping &mapping);
+
+} // namespace lisa::sim
+
+#endif // LISA_SIM_VISUALIZE_HH

@@ -1,0 +1,4 @@
+#include "support/random.hh"
+
+// Rng is header-only; this translation unit exists so the build has a
+// stable home for any future out-of-line additions.

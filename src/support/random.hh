@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic random-number helper used across the library.
+ *
+ * All stochastic components (simulated annealing, the synthetic DFG
+ * generator, weight initialization) draw from an explicitly seeded Rng so
+ * experiments are reproducible run-to-run.
+ */
+
+#ifndef LISA_SUPPORT_RANDOM_HH
+#define LISA_SUPPORT_RANDOM_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace lisa {
+
+/**
+ * A thin wrapper around std::mt19937_64 with the sampling helpers the
+ * mapping algorithms need.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 1) : engine(seed) {}
+
+    /** Reseed the generator. */
+    void seed(uint64_t s) { engine.seed(s); }
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    int
+    uniformInt(int lo, int hi)
+    {
+        std::uniform_int_distribution<int> d(lo, hi);
+        return d(engine);
+    }
+
+    /** Uniform size_t index in [0, n). Requires n > 0. */
+    size_t
+    index(size_t n)
+    {
+        std::uniform_int_distribution<size_t> d(0, n - 1);
+        return d(engine);
+    }
+
+    /** Uniform real in [0, 1). */
+    double
+    uniform()
+    {
+        std::uniform_real_distribution<double> d(0.0, 1.0);
+        return d(engine);
+    }
+
+    /** Normal sample with the given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        std::normal_distribution<double> d(mean, stddev);
+        return d(engine);
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Pick a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        return v[index(v.size())];
+    }
+
+    /** In-place Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        std::shuffle(v.begin(), v.end(), engine);
+    }
+
+    /** Access the underlying engine (for std distributions). */
+    std::mt19937_64 &raw() { return engine; }
+
+  private:
+    std::mt19937_64 engine;
+};
+
+} // namespace lisa
+
+#endif // LISA_SUPPORT_RANDOM_HH

@@ -1,0 +1,18 @@
+#include "support/stopwatch.hh"
+
+namespace lisa {
+
+void
+Stopwatch::reset()
+{
+    start = std::chrono::steady_clock::now();
+}
+
+double
+Stopwatch::seconds() const
+{
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start).count();
+}
+
+} // namespace lisa

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Wall-clock stopwatch used for compilation-time measurement (Fig 11) and
+ * for mapper time budgets.
+ */
+
+#ifndef LISA_SUPPORT_STOPWATCH_HH
+#define LISA_SUPPORT_STOPWATCH_HH
+
+#include <chrono>
+
+namespace lisa {
+
+/** Monotonic wall-clock stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+
+    /** Restart timing from zero. */
+    void reset();
+
+    /** @return seconds elapsed since construction or the last reset(). */
+    double seconds() const;
+
+    /** @return milliseconds elapsed. */
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace lisa
+
+#endif // LISA_SUPPORT_STOPWATCH_HH

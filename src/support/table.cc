@@ -1,0 +1,79 @@
+#include "support/table.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace lisa {
+
+Table::Table(std::vector<std::string> header) : head(std::move(header))
+{
+    if (head.empty())
+        panic("Table requires a non-empty header");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != head.size()) {
+        panic("Table row arity ", cells.size(), " does not match header ",
+              head.size());
+    }
+    body.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> width(head.size());
+    for (size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto &row : body)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << row[c];
+        }
+        os << '\n';
+    };
+
+    emit_row(head);
+    size_t total = 0;
+    for (size_t w : width)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : body)
+        emit_row(row);
+    os.flush();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    emit_row(head);
+    for (const auto &row : body)
+        emit_row(row);
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << v;
+    return os.str();
+}
+
+} // namespace lisa

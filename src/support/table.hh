@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to reproduce the
+ * paper's figures as aligned rows on stdout.
+ */
+
+#ifndef LISA_SUPPORT_TABLE_HH
+#define LISA_SUPPORT_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lisa {
+
+/**
+ * Accumulates rows of string cells and prints them column-aligned.
+ *
+ * Usage:
+ * @code
+ *   Table t({"kernel", "ILP", "SA", "LISA"});
+ *   t.addRow({"gemm", "4", "5", "4"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows added so far. */
+    size_t rows() const { return body.size(); }
+
+    /** Render the table with a separator under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render as comma-separated values (for scripting). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** Format a double with the given number of decimals. */
+std::string fmtDouble(double v, int decimals = 2);
+
+} // namespace lisa
+
+#endif // LISA_SUPPORT_TABLE_HH

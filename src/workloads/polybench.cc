@@ -1,0 +1,337 @@
+#include "workloads/polybench.hh"
+
+#include "dfg/builder.hh"
+#include "support/logging.hh"
+
+namespace lisa::workloads {
+
+using dfg::DfgBuilder;
+using dfg::NodeId;
+using dfg::OpCode;
+
+namespace {
+
+const std::vector<std::string> kNames = {
+    "atax", "bicg", "doitgen", "gemm",  "gemver", "gesummv",
+    "mm2",  "mvt",  "symm",    "syr2k", "syrk",   "trmm",
+};
+
+/**
+ * Shared kernel-body scaffolding: in the CGRA variant every array access
+ * goes through an address add fed by the loop induction variable (an
+ * accumulating add, like the i++ a front end emits); the streaming variant
+ * loads operands directly.
+ */
+class Body
+{
+  public:
+    Body(DfgBuilder &builder, KernelVariant variant)
+        : b(builder), stream(variant == KernelVariant::Streaming)
+    {
+        if (!stream) {
+            NodeId step = b.constant("step");
+            iv = b.op(OpCode::Add, {step}, "iv");
+            b.recurrence(iv, iv);
+        }
+    }
+
+    /** One array access: [const base -> add addr ->] load. */
+    NodeId
+    access(const std::string &name)
+    {
+        NodeId ld = b.load(name);
+        if (!stream) {
+            NodeId base = b.constant(name + ".b");
+            NodeId addr = b.op(OpCode::Add, {iv, base}, name + ".a");
+            b.edge(addr, ld);
+        }
+        return ld;
+    }
+
+    DfgBuilder &b;
+
+  private:
+    bool stream;
+    NodeId iv = dfg::kInvalidNode;
+};
+
+// atax: fused tmp[i] += A[i][j]*x[j] and y[j] += A[i][j]*tmp[i].
+dfg::Dfg
+makeAtax(KernelVariant variant)
+{
+    DfgBuilder b("atax");
+    Body body(b, variant);
+    auto a = body.access("A");
+    auto x = body.access("x");
+    auto t1 = b.op(OpCode::Mul, {a, x}, "A*x");
+    auto tmp = b.op(OpCode::Add, {t1}, "tmp+=");
+    b.recurrence(tmp, tmp);
+    auto y = body.access("y");
+    auto t2 = b.op(OpCode::Mul, {a, tmp}, "A*tmp");
+    auto y2 = b.op(OpCode::Add, {y, t2}, "y'");
+    b.store(y2, "y");
+    return b.build();
+}
+
+// bicg: s[j] += r[i]*A[i][j]; q[i] += A[i][j]*p[j].
+dfg::Dfg
+makeBicg(KernelVariant variant)
+{
+    DfgBuilder b("bicg");
+    Body body(b, variant);
+    auto a = body.access("A");
+    auto r = body.access("r");
+    auto p = body.access("p");
+    auto s = body.access("s");
+    auto t1 = b.op(OpCode::Mul, {r, a}, "r*A");
+    auto s2 = b.op(OpCode::Add, {s, t1}, "s'");
+    b.store(s2, "s");
+    auto t2 = b.op(OpCode::Mul, {a, p}, "A*p");
+    auto q = b.op(OpCode::Add, {t2}, "q+=");
+    b.recurrence(q, q);
+    return b.build();
+}
+
+// doitgen: sum[p] += A[r][q][s] * C4[s][p].
+dfg::Dfg
+makeDoitgen(KernelVariant variant)
+{
+    DfgBuilder b("doitgen");
+    Body body(b, variant);
+    auto a = body.access("A");
+    auto c4 = body.access("C4");
+    auto t = b.op(OpCode::Mul, {a, c4}, "A*C4");
+    auto sum = b.op(OpCode::Add, {t}, "sum+=");
+    b.recurrence(sum, sum);
+    b.store(sum, "sum");
+    return b.build();
+}
+
+// gemm: acc += alpha * A[i][k] * B[k][j].
+dfg::Dfg
+makeGemm(KernelVariant variant)
+{
+    DfgBuilder b("gemm");
+    Body body(b, variant);
+    auto a = body.access("A");
+    auto bb = body.access("B");
+    auto alpha = b.constant("alpha");
+    auto t1 = b.op(OpCode::Mul, {a, bb}, "A*B");
+    auto t2 = b.op(OpCode::Mul, {t1, alpha}, "a*A*B");
+    auto acc = b.op(OpCode::Add, {t2}, "acc+=");
+    b.recurrence(acc, acc);
+    return b.build();
+}
+
+// gemver: A += u1*v1 + u2*v2 fused with x[i] += beta * A'[j][i] * y[j].
+dfg::Dfg
+makeGemver(KernelVariant variant)
+{
+    DfgBuilder b("gemver");
+    Body body(b, variant);
+    auto u1 = body.access("u1");
+    auto v1 = body.access("v1");
+    auto u2 = body.access("u2");
+    auto v2 = body.access("v2");
+    auto a = body.access("A");
+    auto m1 = b.op(OpCode::Mul, {u1, v1}, "u1*v1");
+    auto m2 = b.op(OpCode::Mul, {u2, v2}, "u2*v2");
+    auto a1 = b.op(OpCode::Add, {a, m1}, "A+uv");
+    auto a2 = b.op(OpCode::Add, {a1, m2}, "A'");
+    b.store(a2, "A");
+    auto y = body.access("y");
+    auto beta = b.constant("beta");
+    auto m3 = b.op(OpCode::Mul, {a2, y}, "A'*y");
+    auto m4 = b.op(OpCode::Mul, {m3, beta}, "b*A'*y");
+    auto x = b.op(OpCode::Add, {m4}, "x+=");
+    b.recurrence(x, x);
+    return b.build();
+}
+
+// gesummv: tmp += A*x; y += B*x; out = alpha*tmp + beta*y.
+dfg::Dfg
+makeGesummv(KernelVariant variant)
+{
+    DfgBuilder b("gesummv");
+    Body body(b, variant);
+    auto a = body.access("A");
+    auto bb = body.access("B");
+    auto x = body.access("x");
+    auto m1 = b.op(OpCode::Mul, {a, x}, "A*x");
+    auto tmp = b.op(OpCode::Add, {m1}, "tmp+=");
+    b.recurrence(tmp, tmp);
+    auto m2 = b.op(OpCode::Mul, {bb, x}, "B*x");
+    auto y = b.op(OpCode::Add, {m2}, "y+=");
+    b.recurrence(y, y);
+    auto alpha = b.constant("alpha");
+    auto beta = b.constant("beta");
+    auto s1 = b.op(OpCode::Mul, {tmp, alpha}, "a*tmp");
+    auto s2 = b.op(OpCode::Mul, {y, beta}, "b*y");
+    auto out = b.op(OpCode::Add, {s1, s2}, "out");
+    b.store(out, "y");
+    return b.build();
+}
+
+// 2mm: tmp += alpha*A*B fused with D = tmp*C + beta*D.
+dfg::Dfg
+makeMm2(KernelVariant variant)
+{
+    DfgBuilder b("mm2");
+    Body body(b, variant);
+    auto a = body.access("A");
+    auto bb = body.access("B");
+    auto alpha = b.constant("alpha");
+    auto m1 = b.op(OpCode::Mul, {a, bb}, "A*B");
+    auto m2 = b.op(OpCode::Mul, {m1, alpha}, "a*A*B");
+    auto tmp = b.op(OpCode::Add, {m2}, "tmp+=");
+    b.recurrence(tmp, tmp);
+    auto c = body.access("C");
+    auto m3 = b.op(OpCode::Mul, {tmp, c}, "tmp*C");
+    auto d = body.access("D");
+    auto beta = b.constant("beta");
+    auto m4 = b.op(OpCode::Mul, {d, beta}, "b*D");
+    auto out = b.op(OpCode::Add, {m3, m4}, "D'");
+    b.store(out, "D");
+    return b.build();
+}
+
+// mvt: x1[i] += A[i][j]*y1[j]; x2[i] += A[j][i]*y2[j]; the streamed matrix
+// element is shared between the two phases (symmetric-access fusion).
+dfg::Dfg
+makeMvt(KernelVariant variant)
+{
+    DfgBuilder b("mvt");
+    Body body(b, variant);
+    auto a = body.access("A");
+    auto y1 = body.access("y1");
+    auto y2 = body.access("y2");
+    auto m1 = b.op(OpCode::Mul, {a, y1}, "A*y1");
+    auto x1 = b.op(OpCode::Add, {m1}, "x1+=");
+    b.recurrence(x1, x1);
+    auto m2 = b.op(OpCode::Mul, {a, y2}, "At*y2");
+    auto x2 = b.op(OpCode::Add, {m2}, "x2+=");
+    b.recurrence(x2, x2);
+    return b.build();
+}
+
+// symm: acc += B[k][j]*A[i][k] fused with C = beta*C + alpha*acc*B2.
+dfg::Dfg
+makeSymm(KernelVariant variant)
+{
+    DfgBuilder b("symm");
+    Body body(b, variant);
+    auto a = body.access("A");
+    auto b1 = body.access("B1");
+    auto b2 = body.access("B2");
+    auto c = body.access("C");
+    auto alpha = b.constant("alpha");
+    auto beta = b.constant("beta");
+    auto m1 = b.op(OpCode::Mul, {a, b1}, "A*B1");
+    auto acc = b.op(OpCode::Add, {m1}, "acc+=");
+    b.recurrence(acc, acc);
+    auto m2 = b.op(OpCode::Mul, {b2, alpha}, "a*B2");
+    auto m3 = b.op(OpCode::Mul, {acc, m2}, "acc*aB2");
+    auto m4 = b.op(OpCode::Mul, {c, beta}, "b*C");
+    auto out = b.op(OpCode::Add, {m3, m4}, "C'");
+    b.store(out, "C");
+    return b.build();
+}
+
+// syr2k: acc += alpha*(A[i][k]*B[j][k] + A[j][k]*B[i][k]).
+dfg::Dfg
+makeSyr2k(KernelVariant variant)
+{
+    DfgBuilder b("syr2k");
+    Body body(b, variant);
+    auto a1 = body.access("A1");
+    auto b1 = body.access("B1");
+    auto a2 = body.access("A2");
+    auto b2 = body.access("B2");
+    auto alpha = b.constant("alpha");
+    auto m1 = b.op(OpCode::Mul, {a1, b1}, "A1*B1");
+    auto m2 = b.op(OpCode::Mul, {a2, b2}, "A2*B2");
+    auto s = b.op(OpCode::Add, {m1, m2}, "sum");
+    auto m3 = b.op(OpCode::Mul, {s, alpha}, "a*sum");
+    auto acc = b.op(OpCode::Add, {m3}, "acc+=");
+    b.recurrence(acc, acc);
+    b.store(acc, "C");
+    return b.build();
+}
+
+// syrk: acc += alpha*A[i][k]*A[j][k].
+dfg::Dfg
+makeSyrk(KernelVariant variant)
+{
+    DfgBuilder b("syrk");
+    Body body(b, variant);
+    auto a1 = body.access("A1");
+    auto a2 = body.access("A2");
+    auto alpha = b.constant("alpha");
+    auto m1 = b.op(OpCode::Mul, {a1, a2}, "A1*A2");
+    auto m2 = b.op(OpCode::Mul, {m1, alpha}, "a*");
+    auto acc = b.op(OpCode::Add, {m2}, "acc+=");
+    b.recurrence(acc, acc);
+    return b.build();
+}
+
+// trmm: B[i][j] += A[k][i]*B[k][j] under the triangular bound k < i,
+// realized with a compare + select zeroing contributions outside the
+// triangle; compare/select is what no systolic PE supports.
+dfg::Dfg
+makeTrmm(KernelVariant variant)
+{
+    DfgBuilder b("trmm");
+    Body body(b, variant);
+    auto k = b.constant("k");
+    auto i = b.constant("i");
+    auto zero = b.constant("0");
+    auto a = body.access("A");
+    auto b1 = body.access("B1");
+    auto cond = b.op(OpCode::Cmp, {k, i}, "k<i");
+    auto m1 = b.op(OpCode::Mul, {a, b1}, "A*B");
+    auto sel = b.op(OpCode::Select, {cond, m1, zero}, "guard");
+    auto acc = b.op(OpCode::Add, {sel}, "B+=");
+    b.recurrence(acc, acc);
+    b.store(acc, "B");
+    return b.build();
+}
+
+} // namespace
+
+const std::vector<std::string> &
+polybenchKernelNames()
+{
+    return kNames;
+}
+
+dfg::Dfg
+polybenchKernel(const std::string &name, KernelVariant variant)
+{
+    if (name == "atax")
+        return makeAtax(variant);
+    if (name == "bicg")
+        return makeBicg(variant);
+    if (name == "doitgen")
+        return makeDoitgen(variant);
+    if (name == "gemm")
+        return makeGemm(variant);
+    if (name == "gemver")
+        return makeGemver(variant);
+    if (name == "gesummv")
+        return makeGesummv(variant);
+    if (name == "mm2")
+        return makeMm2(variant);
+    if (name == "mvt")
+        return makeMvt(variant);
+    if (name == "symm")
+        return makeSymm(variant);
+    if (name == "syr2k")
+        return makeSyr2k(variant);
+    if (name == "syrk")
+        return makeSyrk(variant);
+    if (name == "trmm")
+        return makeTrmm(variant);
+    fatal("unknown PolyBench kernel '", name, "'");
+}
+
+} // namespace lisa::workloads

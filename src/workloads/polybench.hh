@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Loop-body DFGs for the 12 PolyBench kernels the paper evaluates.
+ *
+ * The mapper consumes DFGs, not C, so each kernel's innermost (or fused)
+ * loop body is encoded with the builder DSL. Two variants exist:
+ *
+ *  - the default (CGRA) variant includes the induction variable and
+ *    per-access address arithmetic the CGRA-ME front end would emit,
+ *    giving realistic 10-25-node graphs;
+ *  - the streaming variant omits addressing (a systolic array's left
+ *    column receives streamed operands; address generation lives in the
+ *    memory engine outside the array), which is the form mapped onto the
+ *    systolic accelerator.
+ *
+ * trmm keeps its triangular-bound compare/select in both variants; no
+ * systolic PE supports those ops, which is what makes trmm the one kernel
+ * even LISA cannot map there (Fig 9g).
+ */
+
+#ifndef LISA_WORKLOADS_POLYBENCH_HH
+#define LISA_WORKLOADS_POLYBENCH_HH
+
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.hh"
+
+namespace lisa::workloads {
+
+/** Which DFG flavour to build. */
+enum class KernelVariant
+{
+    Cgra,      ///< with induction variable + address arithmetic
+    Streaming, ///< operands streamed in, no addressing (systolic)
+};
+
+/** Names of all available kernels, in the paper's presentation order. */
+const std::vector<std::string> &polybenchKernelNames();
+
+/** Build one kernel's DFG by name; fatal() on unknown names. */
+dfg::Dfg polybenchKernel(const std::string &name,
+                         KernelVariant variant = KernelVariant::Cgra);
+
+} // namespace lisa::workloads
+
+#endif // LISA_WORKLOADS_POLYBENCH_HH

@@ -1,0 +1,56 @@
+#include "workloads/registry.hh"
+
+#include "dfg/unroll.hh"
+#include "support/logging.hh"
+
+namespace lisa::workloads {
+
+std::vector<Workload>
+polybenchSuite()
+{
+    std::vector<Workload> out;
+    for (const std::string &name : polybenchKernelNames())
+        out.push_back(Workload{name, polybenchKernel(name)});
+    return out;
+}
+
+std::vector<Workload>
+unrolledSuite(int factor, std::vector<std::string> names)
+{
+    if (names.empty()) {
+        names = {"atax", "bicg", "gemm", "gesummv",
+                 "mvt",  "symm", "syrk", "syr2k"};
+    }
+    std::vector<Workload> out;
+    for (const std::string &name : names) {
+        dfg::Dfg unrolled = dfg::unroll(polybenchKernel(name), factor);
+        out.push_back(Workload{name + "_u" + std::to_string(factor),
+                               std::move(unrolled)});
+    }
+    return out;
+}
+
+std::vector<Workload>
+streamingSuite()
+{
+    std::vector<Workload> out;
+    for (const std::string &name : polybenchKernelNames()) {
+        out.push_back(Workload{
+            name, polybenchKernel(name, KernelVariant::Streaming)});
+    }
+    return out;
+}
+
+Workload
+workloadByName(const std::string &name)
+{
+    auto pos = name.find("_u");
+    if (pos != std::string::npos) {
+        int factor = std::stoi(name.substr(pos + 2));
+        dfg::Dfg base = polybenchKernel(name.substr(0, pos));
+        return Workload{name, dfg::unroll(base, factor)};
+    }
+    return Workload{name, polybenchKernel(name)};
+}
+
+} // namespace lisa::workloads

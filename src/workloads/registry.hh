@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Workload registry: the PolyBench suite, its unrolled (factor 2)
+ * variants, and the streaming variants mapped onto the systolic array —
+ * matching the paper's benchmark sets for each figure.
+ */
+
+#ifndef LISA_WORKLOADS_REGISTRY_HH
+#define LISA_WORKLOADS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.hh"
+#include "workloads/polybench.hh"
+
+namespace lisa::workloads {
+
+/** A named benchmark DFG. */
+struct Workload
+{
+    std::string name;
+    dfg::Dfg dfg;
+};
+
+/** The full 12-kernel PolyBench suite (CGRA variants). */
+std::vector<Workload> polybenchSuite();
+
+/**
+ * Unrolled (factor @p factor) variants. When @p names is empty, the
+ * paper's 8-kernel unrolled set is used (Fig 9d uses its first 6, Fig 9f
+ * all 8).
+ */
+std::vector<Workload> unrolledSuite(int factor = 2,
+                                    std::vector<std::string> names = {});
+
+/** Streaming variants of the full suite (for the systolic accelerator). */
+std::vector<Workload> streamingSuite();
+
+/** One workload by name; "name_u2"-style names yield unrolled variants. */
+Workload workloadByName(const std::string &name);
+
+} // namespace lisa::workloads
+
+#endif // LISA_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,221 @@
+/** @file Unit tests for the DFG analyses (ASAP/ALAP, reachability,
+ *  same-level pairs, RecMII) on the paper's Fig 4 example graph. */
+
+#include <gtest/gtest.h>
+
+#include "dfg/analysis.hh"
+#include "dfg/builder.hh"
+
+namespace {
+
+using namespace lisa::dfg;
+
+/**
+ * The paper's Fig 4 DFG:
+ *   A -> C; B -> {D, E, F, I}; C -> G; D -> G; E -> H, I(via edge);
+ *   G -> J; H -> J.
+ * We encode: A,B sources; C(A), D(B), E(B), F(B); G(C,D), H(E), I(B,E);
+ * J(G,H).
+ */
+Dfg
+fig4()
+{
+    DfgBuilder b("fig4");
+    auto a = b.load("A");
+    auto bb = b.load("B");
+    auto c = b.op(OpCode::Add, {a}, "C");
+    auto d = b.op(OpCode::Add, {bb}, "D");
+    auto e = b.op(OpCode::Add, {bb}, "E");
+    auto f = b.op(OpCode::Add, {bb}, "F");
+    (void)f;
+    auto g = b.op(OpCode::Add, {c, d}, "G");
+    auto h = b.op(OpCode::Add, {e}, "H");
+    auto i = b.op(OpCode::Add, {bb, e}, "I");
+    (void)i;
+    auto j = b.op(OpCode::Add, {g, h}, "J");
+    (void)j;
+    return b.build();
+}
+
+// Node ids in construction order:
+constexpr NodeId A = 0, B = 1, C = 2, D = 3, E = 4, F = 5, G = 6, H = 7,
+                 I = 8, J = 9;
+
+TEST(Analysis, AsapLevels)
+{
+    Dfg g = fig4();
+    Analysis an(g);
+    EXPECT_EQ(an.asap(A), 0);
+    EXPECT_EQ(an.asap(B), 0);
+    EXPECT_EQ(an.asap(C), 1);
+    EXPECT_EQ(an.asap(D), 1);
+    EXPECT_EQ(an.asap(E), 1);
+    EXPECT_EQ(an.asap(F), 1);
+    EXPECT_EQ(an.asap(G), 2);
+    EXPECT_EQ(an.asap(H), 2);
+    EXPECT_EQ(an.asap(I), 2);
+    EXPECT_EQ(an.asap(J), 3);
+    EXPECT_EQ(an.criticalPathLength(), 4);
+}
+
+TEST(Analysis, AlapRespectsDeadlines)
+{
+    Dfg g = fig4();
+    Analysis an(g);
+    // J is on the last level; F has no successors so it can go last.
+    EXPECT_EQ(an.alap(J), 3);
+    EXPECT_EQ(an.alap(F), 3);
+    // G must run at level 2 to feed J at 3.
+    EXPECT_EQ(an.alap(G), 2);
+    for (NodeId v = 0; v < 10; ++v)
+        EXPECT_LE(an.asap(v), an.alap(v));
+}
+
+TEST(Analysis, TopoOrderRespectsEdges)
+{
+    Dfg g = fig4();
+    Analysis an(g);
+    std::vector<int> pos(g.numNodes());
+    const auto &topo = an.topoOrder();
+    ASSERT_EQ(topo.size(), g.numNodes());
+    for (size_t i = 0; i < topo.size(); ++i)
+        pos[topo[i]] = static_cast<int>(i);
+    for (const Edge &e : g.edges()) {
+        if (e.iterDistance == 0) {
+            EXPECT_LT(pos[e.src], pos[e.dst]);
+        }
+    }
+}
+
+TEST(Analysis, AncestorDescendantCounts)
+{
+    Dfg g = fig4();
+    Analysis an(g);
+    EXPECT_EQ(an.ancestorCount(A), 0);
+    // B reaches D, E, F, G(via D), H, I, J.
+    EXPECT_EQ(an.descendantCount(B), 7);
+    // J's ancestors: everything except F and I.
+    EXPECT_EQ(an.ancestorCount(J), 7);
+    EXPECT_TRUE(an.isAncestor(B, J));
+    EXPECT_FALSE(an.isAncestor(F, J));
+    EXPECT_FALSE(an.isAncestor(J, J));
+}
+
+TEST(Analysis, ShortestAndLongestDistances)
+{
+    Dfg g = fig4();
+    Analysis an(g);
+    EXPECT_EQ(an.shortestDist(B, J), 3); // B->E->H->J or B->D->G->J
+    EXPECT_EQ(an.shortestDist(A, J), 3); // A->C->G->J
+    EXPECT_EQ(an.shortestDist(J, A), -1);
+    EXPECT_EQ(an.longestDist(B, J), 3);
+    EXPECT_EQ(an.shortestDist(B, I), 1); // direct edge
+    EXPECT_EQ(an.longestDist(B, I), 2);  // via E
+}
+
+TEST(Analysis, NodesOnPath)
+{
+    Dfg g = fig4();
+    Analysis an(g);
+    // Between A and J: C and G.
+    EXPECT_EQ(an.nodesOnPath(A, J), 2);
+    EXPECT_EQ(an.nodesOnPath(A, C), 0);
+    EXPECT_EQ(an.nodesOnPath(J, A), 0);
+}
+
+TEST(Analysis, LevelPopulations)
+{
+    Dfg g = fig4();
+    Analysis an(g);
+    EXPECT_EQ(an.nodesAtLevel(0), 2);
+    EXPECT_EQ(an.nodesAtLevel(1), 4);
+    EXPECT_EQ(an.nodesAtLevel(2), 3);
+    EXPECT_EQ(an.nodesAtLevel(3), 1);
+    EXPECT_EQ(an.nodesAtLevel(9), 0);
+    EXPECT_EQ(an.nodesBetweenLevels(0, 3), 7);
+    EXPECT_EQ(an.nodesBetweenLevels(3, 0), 7); // order-insensitive
+}
+
+TEST(Analysis, SameLevelPairs)
+{
+    Dfg g = fig4();
+    Analysis an(g);
+    // C-E: common descendant J, no common ancestor. C-F: none (the paper's
+    // Fig 7 shows no dummy edge between C and F). E-F: common ancestor B.
+    bool found_ce = false, found_cf = false, found_ef = false;
+    for (const SameLevelPair &p : an.sameLevelPairs()) {
+        auto is = [&](NodeId x, NodeId y) {
+            return (p.a == x && p.b == y) || (p.a == y && p.b == x);
+        };
+        if (is(C, E))
+            found_ce = true;
+        if (is(C, F))
+            found_cf = true;
+        if (is(E, F))
+            found_ef = true;
+    }
+    EXPECT_TRUE(found_ce);
+    EXPECT_FALSE(found_cf);
+    EXPECT_TRUE(found_ef);
+}
+
+TEST(Analysis, SameLevelPairDistances)
+{
+    Dfg g = fig4();
+    Analysis an(g);
+    for (const SameLevelPair &p : an.sameLevelPairs()) {
+        if ((p.a == E && p.b == F) || (p.a == F && p.b == E)) {
+            ASSERT_TRUE(p.hasAncestor());
+            EXPECT_EQ(p.ancestor, B);
+            EXPECT_EQ(p.ancDistA, 1);
+            EXPECT_EQ(p.ancDistB, 1);
+            EXPECT_FALSE(p.hasDescendant());
+        }
+    }
+}
+
+TEST(Analysis, RecMiiWithoutRecurrence)
+{
+    Dfg g = fig4();
+    Analysis an(g);
+    EXPECT_EQ(an.recMii(), 1);
+}
+
+TEST(Analysis, RecMiiSelfLoop)
+{
+    DfgBuilder b("acc");
+    auto x = b.load("x");
+    auto acc = b.op(OpCode::Add, {x});
+    b.recurrence(acc, acc);
+    Dfg g = b.build();
+    Analysis an(g);
+    EXPECT_EQ(an.recMii(), 1); // latency 1 / distance 1
+}
+
+TEST(Analysis, RecMiiLongCycle)
+{
+    DfgBuilder b("cyc");
+    auto x = b.load("x");
+    auto n1 = b.op(OpCode::Add, {x});
+    auto n2 = b.op(OpCode::Add, {n1});
+    auto n3 = b.op(OpCode::Add, {n2});
+    b.recurrence(n3, n1); // cycle n1->n2->n3 -(rec)-> n1, latency 3
+    Dfg g = b.build();
+    Analysis an(g);
+    EXPECT_EQ(an.recMii(), 3);
+}
+
+TEST(Analysis, RecMiiDividedByDistance)
+{
+    DfgBuilder b("cyc2");
+    auto x = b.load("x");
+    auto n1 = b.op(OpCode::Add, {x});
+    auto n2 = b.op(OpCode::Add, {n1});
+    auto n3 = b.op(OpCode::Add, {n2});
+    b.recurrence(n3, n1, 3); // latency 3 over distance 3
+    Dfg g = b.build();
+    Analysis an(g);
+    EXPECT_EQ(an.recMii(), 1);
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+/** @file Unit tests for the accelerator models (CGRA variants, systolic). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/cgra.hh"
+#include "arch/systolic.hh"
+
+namespace {
+
+using namespace lisa::arch;
+using lisa::dfg::OpCode;
+
+TEST(Cgra, GridAndNames)
+{
+    CgraArch c(baselineCgra(4, 4));
+    EXPECT_EQ(c.numPes(), 16);
+    EXPECT_EQ(c.name(), "cgra4x4");
+    EXPECT_EQ(c.peCoord(0).row, 0);
+    EXPECT_EQ(c.peCoord(5).row, 1);
+    EXPECT_EQ(c.peCoord(5).col, 1);
+    EXPECT_TRUE(c.temporalMapping());
+    EXPECT_EQ(c.maxIi(), 24);
+    EXPECT_EQ(c.registersPerPe(), 4);
+}
+
+TEST(Cgra, VariantNames)
+{
+    CgraArch less(lessRoutingCgra());
+    EXPECT_EQ(less.name(), "cgra4x4_r1");
+    EXPECT_EQ(less.registersPerPe(), 1);
+    CgraArch mem(lessMemoryCgra());
+    EXPECT_EQ(mem.name(), "cgra4x4_memL");
+}
+
+TEST(Cgra, MeshLinksAreSymmetricAndBounded)
+{
+    CgraArch c(baselineCgra(3, 3));
+    for (int pe = 0; pe < c.numPes(); ++pe) {
+        const auto &out = c.linkTargets(pe);
+        EXPECT_GE(out.size(), 2u); // corner
+        EXPECT_LE(out.size(), 4u); // centre
+        for (int dst : out) {
+            EXPECT_EQ(manhattan(c.peCoord(pe), c.peCoord(dst)), 1);
+            const auto &back = c.linkTargets(dst);
+            EXPECT_NE(std::find(back.begin(), back.end(), pe), back.end());
+        }
+    }
+    // Centre PE of a 3x3 has 4 neighbours.
+    EXPECT_EQ(c.linkTargets(4).size(), 4u);
+}
+
+TEST(Cgra, LinkSourcesMatchTargets)
+{
+    CgraArch c(baselineCgra(4, 4));
+    for (int pe = 0; pe < c.numPes(); ++pe) {
+        for (int dst : c.linkTargets(pe)) {
+            const auto &src = c.linkSources(dst);
+            EXPECT_NE(std::find(src.begin(), src.end(), pe), src.end());
+        }
+    }
+}
+
+TEST(Cgra, MemPolicyLeftColumn)
+{
+    CgraArch c(lessMemoryCgra());
+    for (int pe = 0; pe < c.numPes(); ++pe) {
+        bool left = c.peCoord(pe).col == 0;
+        EXPECT_EQ(c.supportsOp(pe, OpCode::Load), left);
+        EXPECT_EQ(c.supportsOp(pe, OpCode::Store), left);
+        EXPECT_TRUE(c.supportsOp(pe, OpCode::Mul));
+    }
+    EXPECT_EQ(c.opCapablePes(OpCode::Load).size(), 4u);
+    EXPECT_EQ(c.opCapablePes(OpCode::Add).size(), 16u);
+}
+
+TEST(Cgra, SpatialDistanceIsManhattan)
+{
+    CgraArch c(baselineCgra(4, 4));
+    EXPECT_EQ(c.spatialDistance(0, 0), 0);
+    EXPECT_EQ(c.spatialDistance(0, 15), 6);
+    EXPECT_EQ(c.spatialDistance(0, 3), 3);
+}
+
+TEST(Systolic, RolesByColumn)
+{
+    SystolicArch s(5, 5);
+    EXPECT_EQ(s.numPes(), 25);
+    EXPECT_FALSE(s.temporalMapping());
+    EXPECT_EQ(s.maxIi(), 1);
+    EXPECT_EQ(s.registersPerPe(), 0);
+    for (int pe = 0; pe < s.numPes(); ++pe) {
+        int col = s.peCoord(pe).col;
+        EXPECT_EQ(s.supportsOp(pe, OpCode::Load), col == 0);
+        EXPECT_EQ(s.supportsOp(pe, OpCode::Const), col == 0);
+        EXPECT_EQ(s.supportsOp(pe, OpCode::Store), col == 4);
+        EXPECT_EQ(s.supportsOp(pe, OpCode::Mul), col > 0 && col < 4);
+        EXPECT_FALSE(s.supportsOp(pe, OpCode::Select));
+        EXPECT_FALSE(s.supportsOp(pe, OpCode::Cmp));
+    }
+}
+
+TEST(Systolic, NoWestwardLinks)
+{
+    SystolicArch s(5, 5);
+    for (int pe = 0; pe < s.numPes(); ++pe) {
+        for (int dst : s.linkTargets(pe)) {
+            EXPECT_GE(s.peCoord(dst).col, s.peCoord(pe).col)
+                << "westward link " << pe << "->" << dst;
+        }
+    }
+}
+
+TEST(Systolic, SupportsOpAnywhere)
+{
+    SystolicArch s(5, 5);
+    EXPECT_TRUE(s.supportsOpAnywhere(OpCode::Mul));
+    EXPECT_TRUE(s.supportsOpAnywhere(OpCode::Load));
+    EXPECT_FALSE(s.supportsOpAnywhere(OpCode::Xor));
+}
+
+class CgraSizes : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(CgraSizes, PeCountAndCoordsConsistent)
+{
+    auto [rows, cols] = GetParam();
+    CgraArch c(baselineCgra(rows, cols));
+    EXPECT_EQ(c.numPes(), rows * cols);
+    for (int pe = 0; pe < c.numPes(); ++pe) {
+        const PeCoord &pc = c.peCoord(pe);
+        EXPECT_EQ(pe, pc.row * cols + pc.col);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, CgraSizes,
+                         ::testing::Values(std::pair{3, 3}, std::pair{4, 4},
+                                           std::pair{8, 8}, std::pair{2, 5}));
+
+} // namespace

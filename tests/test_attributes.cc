@@ -1,0 +1,141 @@
+/** @file Tests for the Attributes Generator. */
+
+#include <gtest/gtest.h>
+
+#include "dfg/builder.hh"
+#include "dfg/generator.hh"
+#include "gnn/attributes.hh"
+
+namespace {
+
+using namespace lisa;
+using namespace lisa::gnn;
+using dfg::OpCode;
+
+dfg::Dfg
+diamond()
+{
+    dfg::DfgBuilder b("diamond");
+    auto a = b.load("a");
+    auto l = b.op(OpCode::Add, {a}, "l");
+    auto r = b.op(OpCode::Mul, {a}, "r");
+    auto j = b.op(OpCode::Add, {l, r}, "j");
+    (void)j;
+    return b.build();
+}
+
+TEST(Attributes, NodeMatrixShapeAndValues)
+{
+    dfg::Dfg g = diamond();
+    dfg::Analysis an(g);
+    GraphAttributes attrs = computeAttributes(g, an);
+    ASSERT_EQ(attrs.nodeAttrs.rows(), 4);
+    ASSERT_EQ(attrs.nodeAttrs.cols(), kNodeAttrs);
+    // Node 0 (the load): asap 0, in 0, out 2, anc 0, desc 3.
+    EXPECT_DOUBLE_EQ(attrs.nodeAttrs.at(0, 0), 0);
+    EXPECT_DOUBLE_EQ(attrs.nodeAttrs.at(0, 1), 0);
+    EXPECT_DOUBLE_EQ(attrs.nodeAttrs.at(0, 2), 2);
+    EXPECT_DOUBLE_EQ(attrs.nodeAttrs.at(0, 3), 0);
+    EXPECT_DOUBLE_EQ(attrs.nodeAttrs.at(0, 4), 3);
+    // Join node: asap 2, in 2, anc 3, desc 0.
+    EXPECT_DOUBLE_EQ(attrs.nodeAttrs.at(3, 0), 2);
+    EXPECT_DOUBLE_EQ(attrs.nodeAttrs.at(3, 1), 2);
+    EXPECT_DOUBLE_EQ(attrs.nodeAttrs.at(3, 3), 3);
+    // The ASAP column mirrors attribute 0.
+    for (int v = 0; v < 4; ++v)
+        EXPECT_DOUBLE_EQ(attrs.asapColumn.at(v, 0),
+                         attrs.nodeAttrs.at(v, 0));
+}
+
+TEST(Attributes, EdgeMatrixValues)
+{
+    dfg::Dfg g = diamond();
+    dfg::Analysis an(g);
+    GraphAttributes attrs = computeAttributes(g, an);
+    ASSERT_EQ(attrs.edgeAttrs.rows(), 4);
+    ASSERT_EQ(attrs.edgeAttrs.cols(), kEdgeAttrs);
+    // Edge 0: a -> l. ASAP diff 1, no nodes strictly between, one node at
+    // the child's level (r), parent has 0 ancestors, child 1 descendant.
+    EXPECT_DOUBLE_EQ(attrs.edgeAttrs.at(0, 0), 1);
+    EXPECT_DOUBLE_EQ(attrs.edgeAttrs.at(0, 1), 0);
+    EXPECT_DOUBLE_EQ(attrs.edgeAttrs.at(0, 2), 1);
+    EXPECT_DOUBLE_EQ(attrs.edgeAttrs.at(0, 3), 0);
+    EXPECT_DOUBLE_EQ(attrs.edgeAttrs.at(0, 4), 1);
+}
+
+TEST(Attributes, DummyEdgeForSameLevelPair)
+{
+    dfg::Dfg g = diamond();
+    dfg::Analysis an(g);
+    ASSERT_EQ(an.sameLevelPairs().size(), 1u); // (l, r)
+    GraphAttributes attrs = computeAttributes(g, an);
+    ASSERT_EQ(attrs.dummyAttrs.rows(), 1);
+    ASSERT_EQ(attrs.dummyAttrs.cols(), kDummyAttrs);
+    // Common ancestor a at distance 1 from both; common descendant j too.
+    EXPECT_DOUBLE_EQ(attrs.dummyAttrs.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(attrs.dummyAttrs.at(0, 1), 1.0);
+    // No nodes strictly between the levels.
+    EXPECT_DOUBLE_EQ(attrs.dummyAttrs.at(0, 2), 0.0);
+    EXPECT_DOUBLE_EQ(attrs.dummyAttrs.at(0, 3), 0.0);
+    // Levels 0, 1, 2 populations: 1 + 2 + 1.
+    EXPECT_DOUBLE_EQ(attrs.dummyAttrs.at(0, 4), 4.0);
+}
+
+TEST(Attributes, NeighbourListsAreUndirectedAndDeduplicated)
+{
+    dfg::Dfg g = diamond();
+    dfg::Analysis an(g);
+    GraphAttributes attrs = computeAttributes(g, an);
+    ASSERT_EQ(attrs.nodeNeighbors.size(), 4u);
+    EXPECT_EQ(attrs.nodeNeighbors[0].size(), 2u); // l and r
+    EXPECT_EQ(attrs.nodeNeighbors[1].size(), 2u); // a and j
+    EXPECT_EQ(attrs.nodeNeighbors[3].size(), 2u); // l and r
+}
+
+TEST(Attributes, NuAggregatesArePositiveReciprocals)
+{
+    dfg::Dfg g = diamond();
+    dfg::Analysis an(g);
+    GraphAttributes attrs = computeAttributes(g, an);
+    ASSERT_EQ(attrs.edgeNu.rows(), 4);
+    ASSERT_EQ(attrs.edgeNu.cols(), kNuAttrs);
+    for (int e = 0; e < 4; ++e) {
+        // 1/sum <= 1/mean and 1/max <= 1/min for positive magnitudes.
+        EXPECT_LE(attrs.edgeNu.at(e, 1), attrs.edgeNu.at(e, 0));
+        EXPECT_LE(attrs.edgeNu.at(e, 2), attrs.edgeNu.at(e, 3));
+        for (int j = 0; j < kNuAttrs; ++j)
+            EXPECT_GT(attrs.edgeNu.at(e, j), 0.0);
+    }
+}
+
+TEST(Attributes, SelfLoopExcludedFromNeighbours)
+{
+    dfg::DfgBuilder b("acc");
+    auto x = b.load("x");
+    auto acc = b.op(OpCode::Add, {x});
+    b.recurrence(acc, acc);
+    dfg::Dfg g = b.build();
+    dfg::Analysis an(g);
+    GraphAttributes attrs = computeAttributes(g, an);
+    EXPECT_EQ(attrs.nodeNeighbors[1].size(), 1u); // just the load
+}
+
+TEST(Attributes, RandomGraphsProduceConsistentShapes)
+{
+    dfg::GeneratorConfig cfg;
+    Rng rng(123);
+    for (int i = 0; i < 10; ++i) {
+        dfg::Dfg g = dfg::generateRandomDfg(cfg, rng);
+        dfg::Analysis an(g);
+        GraphAttributes attrs = computeAttributes(g, an);
+        EXPECT_EQ(attrs.nodeAttrs.rows(), static_cast<int>(g.numNodes()));
+        EXPECT_EQ(attrs.edgeAttrs.rows(),
+                  std::max<int>(1, static_cast<int>(g.numEdges())));
+        EXPECT_EQ(attrs.dummyAttrs.rows(),
+                  std::max<int>(1,
+                                static_cast<int>(an.sameLevelPairs().size())));
+        EXPECT_EQ(attrs.nodeNeighbors.size(), g.numNodes());
+    }
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+/** @file Tests for the exact branch-and-bound mapper (the ILP stand-in). */
+
+#include <gtest/gtest.h>
+
+#include "arch/cgra.hh"
+#include "dfg/builder.hh"
+#include "mappers/exact_mapper.hh"
+#include "support/stopwatch.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace lisa;
+using namespace lisa::map;
+using dfg::OpCode;
+
+TEST(ExactMapper, MapsChainAtIiOne)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    dfg::DfgBuilder b("c2");
+    auto x = b.load("x");
+    b.op(OpCode::Add, {x});
+    dfg::Dfg g = b.build();
+    dfg::Analysis an(g);
+    Rng rng(1);
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 1);
+    ExactMapper ex;
+    MapContext ctx{g, an, mrrg, 2.0, rng};
+    auto m = ex.tryMap(ctx);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_TRUE(m->valid());
+    EXPECT_EQ(m->totalOveruse(), 0);
+}
+
+TEST(ExactMapper, MapsGemm)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto w = workloads::workloadByName("gemm");
+    dfg::Analysis an(w.dfg);
+    Rng rng(1);
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 2);
+    ExactMapper ex;
+    MapContext ctx{w.dfg, an, mrrg, 5.0, rng};
+    auto m = ex.tryMap(ctx);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_TRUE(m->valid());
+}
+
+TEST(ExactMapper, NeverProducesOveruse)
+{
+    arch::CgraArch c(arch::baselineCgra(3, 3));
+    auto w = workloads::workloadByName("atax");
+    dfg::Analysis an(w.dfg);
+    Rng rng(1);
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 3);
+    ExactMapper ex;
+    MapContext ctx{w.dfg, an, mrrg, 5.0, rng};
+    auto m = ex.tryMap(ctx);
+    if (m.has_value()) {
+        EXPECT_EQ(m->totalOveruse(), 0);
+        EXPECT_TRUE(m->valid());
+    }
+}
+
+TEST(ExactMapper, InfeasibleInstanceFails)
+{
+    // Two concurrent ops at II 1 on a single PE: impossible.
+    arch::CgraArch c(arch::baselineCgra(1, 1));
+    dfg::DfgBuilder b("two");
+    auto x = b.load("x");
+    b.op(OpCode::Add, {x});
+    dfg::Dfg g = b.build();
+    dfg::Analysis an(g);
+    Rng rng(1);
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 1);
+    ExactMapper ex;
+    MapContext ctx{g, an, mrrg, 1.0, rng};
+    EXPECT_FALSE(ex.tryMap(ctx).has_value());
+}
+
+TEST(ExactMapper, RespectsTimeBudget)
+{
+    // A dense instance with a microscopic budget must return promptly.
+    arch::CgraArch c(arch::baselineCgra(8, 8));
+    auto w = workloads::unrolledSuite(2, {"syr2k"})[0];
+    dfg::Analysis an(w.dfg);
+    Rng rng(1);
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 3);
+    ExactMapper ex;
+    MapContext ctx{w.dfg, an, mrrg, 0.05, rng};
+    Stopwatch sw;
+    (void)ex.tryMap(ctx);
+    EXPECT_LT(sw.seconds(), 2.0);
+}
+
+TEST(ExactMapper, IsDeterministic)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto w = workloads::workloadByName("syrk");
+    dfg::Analysis an(w.dfg);
+    Rng rng(1);
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 2);
+    ExactMapper ex;
+    MapContext ctx{w.dfg, an, mrrg, 5.0, rng};
+    auto m1 = ex.tryMap(ctx);
+    auto m2 = ex.tryMap(ctx);
+    ASSERT_EQ(m1.has_value(), m2.has_value());
+    if (m1) {
+        for (size_t v = 0; v < w.dfg.numNodes(); ++v) {
+            EXPECT_EQ(m1->placement(static_cast<dfg::NodeId>(v)).pe,
+                      m2->placement(static_cast<dfg::NodeId>(v)).pe);
+        }
+    }
+}
+
+} // namespace

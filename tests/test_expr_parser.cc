@@ -1,0 +1,147 @@
+/** @file Tests for the expression-language frontend. */
+
+#include <gtest/gtest.h>
+
+#include "dfg/analysis.hh"
+#include "dfg/expr_parser.hh"
+
+namespace {
+
+using namespace lisa::dfg;
+
+int
+countOp(const Dfg &g, OpCode op)
+{
+    int n = 0;
+    for (const Node &node : g.nodes())
+        if (node.op == op)
+            ++n;
+    return n;
+}
+
+TEST(ExprParser, GemmLikeBody)
+{
+    auto g = parseExpressions("acc += alpha * A[i][k] * B[k][j];", "gemm");
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(countOp(*g, OpCode::Load), 2);  // A, B
+    EXPECT_EQ(countOp(*g, OpCode::Const), 1); // alpha
+    EXPECT_EQ(countOp(*g, OpCode::Mul), 2);
+    EXPECT_EQ(countOp(*g, OpCode::Add), 1); // the accumulator
+    // The accumulator carries a distance-1 self edge.
+    bool rec = false;
+    for (const Edge &e : g->edges())
+        if (e.iterDistance == 1 && e.src == e.dst)
+            rec = true;
+    EXPECT_TRUE(rec);
+}
+
+TEST(ExprParser, ArrayStoreOnLeft)
+{
+    auto g = parseExpressions("y[j] = A[i][j] * x[j] + y[j];", "axpy");
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(countOp(*g, OpCode::Store), 1);
+    // y[j] appears as both a load and the store target.
+    EXPECT_EQ(countOp(*g, OpCode::Load), 3);
+}
+
+TEST(ExprParser, ScalarsChainAcrossStatements)
+{
+    auto g = parseExpressions(
+        "t = A[i] * x[i]; out[i] = t + t * beta;", "chain");
+    ASSERT_TRUE(g.has_value());
+    // 't' is reused, not recomputed: exactly 2 muls, 1 add.
+    EXPECT_EQ(countOp(*g, OpCode::Mul), 2);
+    EXPECT_EQ(countOp(*g, OpCode::Add), 1);
+    EXPECT_EQ(countOp(*g, OpCode::Load), 2);
+}
+
+TEST(ExprParser, RepeatedArrayRefIsOneLoad)
+{
+    auto g = parseExpressions("s = A[i] * A[i];", "sq");
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(countOp(*g, OpCode::Load), 1);
+}
+
+TEST(ExprParser, PrecedenceMulBeforeAdd)
+{
+    auto g = parseExpressions("out[i] = a + B[i] * c;", "prec");
+    ASSERT_TRUE(g.has_value());
+    Analysis an(*g);
+    // mul depends on B and c; add depends on a and mul -> chain length 3
+    // (load/const at 0, mul at 1, add at 2, store at 3).
+    EXPECT_EQ(an.criticalPathLength(), 4);
+}
+
+TEST(ExprParser, ParenthesesOverridePrecedence)
+{
+    auto g = parseExpressions("out[i] = (a + B[i]) * c;", "paren");
+    ASSERT_TRUE(g.has_value());
+    // Now the add feeds the mul.
+    for (const Node &n : g->nodes()) {
+        if (n.op == OpCode::Mul) {
+            EXPECT_EQ(g->inEdges(n.id).size(), 2u);
+        }
+    }
+    EXPECT_EQ(countOp(*g, OpCode::Add), 1);
+    EXPECT_EQ(countOp(*g, OpCode::Mul), 1);
+}
+
+TEST(ExprParser, TernaryLowersToCmpSelect)
+{
+    auto g = parseExpressions(
+        "B[i][j] = k < i ? A[k][i] * B[k][j] : 0;", "trmm-like");
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(countOp(*g, OpCode::Cmp), 1);
+    EXPECT_EQ(countOp(*g, OpCode::Select), 1);
+    EXPECT_EQ(countOp(*g, OpCode::Const), 3); // k, i, 0
+}
+
+TEST(ExprParser, SubtractionAndDivision)
+{
+    auto g = parseExpressions("out[i] = (A[i] - b) / c;", "sd");
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(countOp(*g, OpCode::Sub), 1);
+    EXPECT_EQ(countOp(*g, OpCode::Div), 1);
+}
+
+TEST(ExprParser, SyntaxErrorsAreReported)
+{
+    std::string error;
+    EXPECT_FALSE(parseExpressions("= 3;", "bad", &error).has_value());
+    EXPECT_FALSE(error.empty());
+    error.clear();
+    EXPECT_FALSE(
+        parseExpressions("x + 3;", "bad2", &error).has_value());
+    EXPECT_FALSE(error.empty());
+    error.clear();
+    EXPECT_FALSE(
+        parseExpressions("x = (a + b;", "bad3", &error).has_value());
+    EXPECT_NE(error.find(")"), std::string::npos);
+}
+
+TEST(ExprParser, DisconnectedStatementsRejected)
+{
+    // Two unrelated bodies form a disconnected graph.
+    std::string error;
+    EXPECT_FALSE(parseExpressions("a[i] = x[i]; b[j] = y[j];", "disc",
+                                  &error)
+                     .has_value());
+    EXPECT_NE(error.find("invalid"), std::string::npos);
+}
+
+TEST(ExprParser, ParsedKernelsMatchHandWrittenShape)
+{
+    // The parsed gesummv body has the same op census as a hand build.
+    auto g = parseExpressions("tmp += A[i][j] * x[j];"
+                              "y += B[i][j] * x[j];"
+                              "out[i] = alpha * tmp + beta * y;",
+                              "gesummv");
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(countOp(*g, OpCode::Load), 3);
+    EXPECT_EQ(countOp(*g, OpCode::Mul), 4);
+    EXPECT_EQ(countOp(*g, OpCode::Add), 3); // two accumulators + final add
+    EXPECT_EQ(countOp(*g, OpCode::Store), 1);
+    EXPECT_TRUE(g->validate());
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+/** @file End-to-end framework tests with a miniature training config. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "arch/cgra.hh"
+#include "core/framework.hh"
+#include "support/stopwatch.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace lisa;
+using namespace lisa::core;
+
+FrameworkConfig
+tinyConfig(const std::string &cache)
+{
+    FrameworkConfig cfg;
+    cfg.trainingData.numDfgs = 10;
+    cfg.trainingData.refinements = 2;
+    cfg.trainingData.perIiBudget = 0.15;
+    cfg.trainingData.totalBudget = 0.6;
+    cfg.trainingData.generator.minNodes = 8;
+    cfg.trainingData.generator.maxNodes = 14;
+    cfg.training.epochs = 30;
+    cfg.cacheDir = cache;
+    return cfg;
+}
+
+struct FrameworkTest : public ::testing::Test
+{
+    void SetUp() override
+    {
+        cache = "/tmp/lisa_fw_test_cache";
+        std::filesystem::remove_all(cache);
+    }
+    void TearDown() override { std::filesystem::remove_all(cache); }
+    std::string cache;
+};
+
+TEST_F(FrameworkTest, PrepareTrainsAndCaches)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    LisaFramework fw(c, tinyConfig(cache));
+    EXPECT_FALSE(fw.isPrepared());
+    fw.prepare();
+    EXPECT_TRUE(fw.isPrepared());
+    ASSERT_EQ(fw.labelAccuracy().size(), 4u);
+    for (double a : fw.labelAccuracy()) {
+        EXPECT_GE(a, 0.0);
+        EXPECT_LE(a, 1.0);
+    }
+    // Cache files exist and a second framework loads them quickly.
+    EXPECT_TRUE(
+        std::filesystem::exists(cache + "/" + c.name() + ".label1"));
+    LisaFramework fw2(c, tinyConfig(cache));
+    Stopwatch sw;
+    fw2.prepare();
+    EXPECT_LT(sw.seconds(), 1.0);
+    EXPECT_EQ(fw2.labelAccuracy().size(), 4u);
+}
+
+TEST_F(FrameworkTest, PredictLabelsHasRightArity)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    LisaFramework fw(c, tinyConfig(cache));
+    fw.prepare();
+    auto w = workloads::workloadByName("gemm");
+    dfg::Analysis an(w.dfg);
+    Labels lbl = fw.predictLabels(w.dfg, an);
+    EXPECT_TRUE(lbl.matches(w.dfg, an));
+    for (double v : lbl.temporalDist)
+        EXPECT_GE(v, 1.0);
+    for (double v : lbl.spatialDist)
+        EXPECT_GE(v, 0.0);
+    for (double v : lbl.association)
+        EXPECT_GE(v, 0.0);
+}
+
+TEST_F(FrameworkTest, CompileMapsKernels)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    LisaFramework fw(c, tinyConfig(cache));
+    fw.prepare();
+    map::SearchOptions opts;
+    opts.perIiBudget = 2.0;
+    opts.totalBudget = 8.0;
+    auto r = fw.compile(workloads::workloadByName("gemm").dfg, opts);
+    ASSERT_TRUE(r.success);
+    EXPECT_TRUE(r.mapping->valid());
+    EXPECT_LE(r.ii, 3);
+}
+
+TEST_F(FrameworkTest, UnpreparedUsePanics)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    LisaFramework fw(c, tinyConfig(cache));
+    auto w = workloads::workloadByName("gemm");
+    dfg::Analysis an(w.dfg);
+    EXPECT_DEATH(fw.predictLabels(w.dfg, an), "prepare");
+}
+
+} // namespace

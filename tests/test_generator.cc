@@ -1,0 +1,126 @@
+/** @file Property-style tests for the random DFG generator: every
+ *  generated graph must satisfy the invariants the mapper relies on. */
+
+#include <gtest/gtest.h>
+
+#include "dfg/analysis.hh"
+#include "dfg/generator.hh"
+
+namespace {
+
+using namespace lisa::dfg;
+using lisa::Rng;
+
+class GeneratorSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(GeneratorSweep, GeneratedGraphsAreValid)
+{
+    Rng rng(GetParam());
+    GeneratorConfig cfg;
+    for (int i = 0; i < 20; ++i) {
+        Dfg g = generateRandomDfg(cfg, rng);
+        std::string why;
+        EXPECT_TRUE(g.validate(&why)) << why;
+    }
+}
+
+TEST_P(GeneratorSweep, NodeCountWithinConfiguredRange)
+{
+    Rng rng(GetParam());
+    GeneratorConfig cfg;
+    cfg.minNodes = 8;
+    cfg.maxNodes = 14;
+    for (int i = 0; i < 20; ++i) {
+        Dfg g = generateRandomDfg(cfg, rng);
+        // Stores are appended on top of the core node budget, at most one
+        // per compute sink, so the total stays below twice the cap.
+        EXPECT_GE(g.numNodes(), 8u);
+        EXPECT_LE(g.numNodes(), 2u * 14u);
+        EXPECT_GE(g.numMemoryOps(), 1u);
+    }
+}
+
+TEST_P(GeneratorSweep, EveryNodeConnected)
+{
+    Rng rng(GetParam() + 99);
+    GeneratorConfig cfg;
+    for (int i = 0; i < 20; ++i) {
+        Dfg g = generateRandomDfg(cfg, rng);
+        for (const Node &n : g.nodes()) {
+            EXPECT_TRUE(!g.inEdges(n.id).empty() ||
+                        !g.outEdges(n.id).empty())
+                << "isolated node " << n.id;
+        }
+    }
+}
+
+TEST_P(GeneratorSweep, AnalysisRunsOnGenerated)
+{
+    Rng rng(GetParam() + 7);
+    GeneratorConfig cfg;
+    for (int i = 0; i < 10; ++i) {
+        Dfg g = generateRandomDfg(cfg, rng);
+        Analysis an(g);
+        EXPECT_GE(an.criticalPathLength(), 1);
+        EXPECT_GE(an.recMii(), 1);
+        EXPECT_EQ(an.topoOrder().size(), g.numNodes());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSweep,
+                         ::testing::Values(1, 17, 123, 999, 424242));
+
+TEST(Generator, DeterministicGivenSeed)
+{
+    GeneratorConfig cfg;
+    Rng a(5), b(5);
+    Dfg ga = generateRandomDfg(cfg, a);
+    Dfg gb = generateRandomDfg(cfg, b);
+    ASSERT_EQ(ga.numNodes(), gb.numNodes());
+    ASSERT_EQ(ga.numEdges(), gb.numEdges());
+    for (size_t i = 0; i < ga.numEdges(); ++i) {
+        EXPECT_EQ(ga.edge(static_cast<EdgeId>(i)).src,
+                  gb.edge(static_cast<EdgeId>(i)).src);
+        EXPECT_EQ(ga.edge(static_cast<EdgeId>(i)).dst,
+                  gb.edge(static_cast<EdgeId>(i)).dst);
+    }
+}
+
+TEST(Generator, DatasetNamesAreDistinct)
+{
+    GeneratorConfig cfg;
+    Rng rng(1);
+    auto set = generateDataset(cfg, 5, rng);
+    ASSERT_EQ(set.size(), 5u);
+    EXPECT_EQ(set[0].name(), "synth0");
+    EXPECT_EQ(set[4].name(), "synth4");
+}
+
+TEST(Generator, RestrictedOpsAreHonoured)
+{
+    GeneratorConfig cfg;
+    cfg.computeOps = {OpCode::Add, OpCode::Mul};
+    Rng rng(9);
+    for (int i = 0; i < 10; ++i) {
+        Dfg g = generateRandomDfg(cfg, rng);
+        for (const Node &n : g.nodes()) {
+            bool allowed = n.op == OpCode::Add || n.op == OpCode::Mul ||
+                           n.op == OpCode::Load || n.op == OpCode::Store;
+            EXPECT_TRUE(allowed) << opName(n.op);
+        }
+    }
+}
+
+TEST(Generator, BadConfigDies)
+{
+    GeneratorConfig cfg;
+    cfg.minNodes = 10;
+    cfg.maxNodes = 5;
+    Rng rng(1);
+    EXPECT_EXIT(generateRandomDfg(cfg, rng), ::testing::ExitedWithCode(1),
+                "node-count");
+}
+
+} // namespace

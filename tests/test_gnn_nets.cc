@@ -1,0 +1,138 @@
+/** @file Shape / determinism / sensitivity tests for the four label
+ *  networks. */
+
+#include <gtest/gtest.h>
+
+#include "dfg/generator.hh"
+#include "gnn/association_net.hh"
+#include "gnn/schedule_order_net.hh"
+#include "gnn/spatial_dist_net.hh"
+#include "gnn/temporal_dist_net.hh"
+
+namespace {
+
+using namespace lisa;
+using namespace lisa::gnn;
+
+struct NetsTest : public ::testing::Test
+{
+    NetsTest() : rng(5)
+    {
+        dfg::GeneratorConfig cfg;
+        graph = dfg::generateRandomDfg(cfg, rng);
+        analysis = std::make_unique<dfg::Analysis>(graph);
+        attrs = computeAttributes(graph, *analysis);
+    }
+
+    Rng rng;
+    dfg::Dfg graph;
+    std::unique_ptr<dfg::Analysis> analysis;
+    GraphAttributes attrs;
+};
+
+TEST_F(NetsTest, ScheduleOrderOutputsPerNode)
+{
+    ScheduleOrderNet net(rng);
+    nn::Tensor out = net.forward(attrs);
+    EXPECT_EQ(out.rows(), static_cast<int>(graph.numNodes()));
+    EXPECT_EQ(out.cols(), 1);
+}
+
+TEST_F(NetsTest, AssociationOutputsPerPair)
+{
+    AssociationNet net(rng);
+    nn::Tensor out = net.forward(attrs);
+    EXPECT_EQ(out.rows(), attrs.dummyAttrs.rows());
+    EXPECT_EQ(out.cols(), 1);
+}
+
+TEST_F(NetsTest, SpatialDistOutputsPerEdge)
+{
+    SpatialDistNet net(rng);
+    nn::Tensor out = net.forward(attrs);
+    EXPECT_EQ(out.rows(), attrs.edgeAttrs.rows());
+    EXPECT_EQ(out.cols(), 1);
+}
+
+TEST_F(NetsTest, TemporalDistOutputsPerEdge)
+{
+    TemporalDistNet net(rng);
+    nn::Tensor out = net.forward(attrs);
+    EXPECT_EQ(out.rows(), attrs.edgeAttrs.rows());
+    EXPECT_EQ(out.cols(), 1);
+}
+
+TEST_F(NetsTest, ForwardIsDeterministic)
+{
+    ScheduleOrderNet net(rng);
+    nn::Tensor a = net.forward(attrs);
+    nn::Tensor b = net.forward(attrs);
+    for (int v = 0; v < a.rows(); ++v)
+        EXPECT_DOUBLE_EQ(a.at(v, 0), b.at(v, 0));
+}
+
+TEST_F(NetsTest, DifferentSeedsGiveDifferentPredictions)
+{
+    Rng r1(1), r2(2);
+    ScheduleOrderNet n1(r1), n2(r2);
+    nn::Tensor a = n1.forward(attrs);
+    nn::Tensor b = n2.forward(attrs);
+    bool any_diff = false;
+    for (int v = 0; v < a.rows(); ++v)
+        if (a.at(v, 0) != b.at(v, 0))
+            any_diff = true;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST_F(NetsTest, ScheduleOrderGradientsReachAllParameters)
+{
+    ScheduleOrderNet net(rng);
+    nn::Tensor out = net.forward(attrs);
+    nn::sum(out).backward();
+    int with_grad = 0;
+    for (const auto &[name, p] : net.parameters()) {
+        for (int i = 0; i < p.rows(); ++i)
+            for (int j = 0; j < p.cols(); ++j)
+                if (p.gradAt(i, j) != 0.0) {
+                    ++with_grad;
+                    goto next;
+                }
+      next:;
+    }
+    // Every layer's weights should receive some gradient.
+    EXPECT_GE(with_grad,
+              static_cast<int>(net.parameters().size()) - 2);
+}
+
+TEST_F(NetsTest, ParameterCounts)
+{
+    ScheduleOrderNet so(rng);
+    // input proj + 4 layers x 3 matrices + readout w + readout b.
+    EXPECT_EQ(so.parameters().size(), 1u + 4u * 3u + 2u);
+    SpatialDistNet sd(rng);
+    EXPECT_EQ(sd.parameters().size(), 5u);
+    AssociationNet an(rng);
+    EXPECT_EQ(an.parameters().size(), 4u);
+    TemporalDistNet td(rng);
+    EXPECT_EQ(td.parameters().size(), 4u);
+}
+
+TEST_F(NetsTest, SpatialNetRespondsToNuGate)
+{
+    SpatialDistNet net(rng);
+    nn::Tensor base = net.forward(attrs);
+    // Scaling the nu aggregates changes the gated term.
+    GraphAttributes perturbed = attrs;
+    perturbed.edgeNu = nn::Tensor(attrs.edgeNu.rows(), attrs.edgeNu.cols());
+    for (int i = 0; i < attrs.edgeNu.rows(); ++i)
+        for (int j = 0; j < attrs.edgeNu.cols(); ++j)
+            perturbed.edgeNu.at(i, j) = attrs.edgeNu.at(i, j) * 3.0;
+    nn::Tensor out = net.forward(perturbed);
+    bool any_diff = false;
+    for (int e = 0; e < base.rows(); ++e)
+        if (std::abs(base.at(e, 0) - out.at(e, 0)) > 1e-12)
+            any_diff = true;
+    EXPECT_TRUE(any_diff);
+}
+
+} // namespace

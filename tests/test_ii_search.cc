@@ -1,0 +1,130 @@
+/** @file Tests for MII computation and the II sweep driver. */
+
+#include <gtest/gtest.h>
+
+#include "arch/cgra.hh"
+#include "arch/systolic.hh"
+#include "dfg/builder.hh"
+#include "mapping/ii_search.hh"
+#include "mappers/sa_mapper.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace lisa;
+using namespace lisa::map;
+using dfg::OpCode;
+
+TEST(ResourceMii, TotalPressure)
+{
+    arch::CgraArch c(arch::baselineCgra(3, 3)); // 9 PEs
+    auto w = workloads::workloadByName("symm"); // 23 nodes
+    EXPECT_EQ(resourceMii(w.dfg, c), 3);        // ceil(23/9)
+}
+
+TEST(ResourceMii, PerOpClassPressure)
+{
+    // Left-column memory: 4 memory-capable PEs on a 4x4.
+    arch::CgraArch c(arch::lessMemoryCgra());
+    dfg::DfgBuilder b("mem");
+    std::vector<dfg::NodeId> loads;
+    for (int i = 0; i < 9; ++i)
+        loads.push_back(b.load("l" + std::to_string(i)));
+    auto sum = b.op(OpCode::Add, loads);
+    (void)sum;
+    dfg::Dfg g = b.build();
+    // 10 nodes on 16 PEs -> 1, but 9 loads on 4 memory PEs -> 3.
+    EXPECT_EQ(resourceMii(g, c), 3);
+}
+
+TEST(ResourceMii, UnsupportedOpIsMinusOne)
+{
+    arch::SystolicArch s(5, 5);
+    auto w = workloads::workloadByName("trmm"); // has cmp/select
+    EXPECT_EQ(resourceMii(w.dfg, s), -1);
+}
+
+TEST(MinimumIi, TakesRecurrenceIntoAccount)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    dfg::DfgBuilder b("cyc");
+    auto x = b.load("x");
+    auto n1 = b.op(OpCode::Add, {x});
+    auto n2 = b.op(OpCode::Add, {n1});
+    auto n3 = b.op(OpCode::Add, {n2});
+    b.recurrence(n3, n1);
+    dfg::Dfg g = b.build();
+    dfg::Analysis an(g);
+    EXPECT_EQ(minimumIi(g, an, c), 3); // RecMII dominates ResMII 1
+}
+
+TEST(SearchMinIi, FindsLowIiForEasyKernel)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto w = workloads::workloadByName("doitgen");
+    SaMapper sa;
+    SearchOptions opts;
+    opts.perIiBudget = 1.0;
+    opts.totalBudget = 5.0;
+    auto r = searchMinIi(sa, w.dfg, c, opts);
+    ASSERT_TRUE(r.success);
+    EXPECT_GE(r.ii, r.mii);
+    EXPECT_LE(r.ii, 2);
+    ASSERT_TRUE(r.mapping.has_value());
+    EXPECT_TRUE(r.mapping->valid());
+    EXPECT_EQ(r.mapping->mrrg().ii(), r.ii);
+}
+
+TEST(SearchMinIi, FailsOnUnsupportedOps)
+{
+    arch::SystolicArch s(5, 5);
+    auto trmm = workloads::polybenchKernel(
+        "trmm", workloads::KernelVariant::Streaming);
+    SaMapper sa;
+    SearchOptions opts;
+    opts.totalBudget = 1.0;
+    auto r = searchMinIi(sa, trmm, s, opts);
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.ii, 0);
+}
+
+TEST(SearchMinIi, SpatialRejectsOversizedDfg)
+{
+    arch::SystolicArch s(3, 3); // 9 PEs
+    auto w = workloads::polybenchKernel(
+        "gemver", workloads::KernelVariant::Streaming); // 15 nodes
+    SaMapper sa;
+    SearchOptions opts;
+    opts.totalBudget = 1.0;
+    auto r = searchMinIi(sa, w, s, opts);
+    EXPECT_FALSE(r.success);
+}
+
+TEST(SearchMinIi, RespectsTotalBudget)
+{
+    arch::CgraArch c(arch::baselineCgra(3, 3));
+    auto w = workloads::unrolledSuite(2, {"syr2k"})[0];
+    SaMapper sa;
+    SearchOptions opts;
+    opts.perIiBudget = 0.1;
+    opts.totalBudget = 0.3;
+    auto r = searchMinIi(sa, w.dfg, c, opts);
+    EXPECT_LT(r.seconds, 2.0);
+}
+
+TEST(SearchMinIi, MappedSystolicKernelHasIiOne)
+{
+    arch::SystolicArch s(5, 5);
+    auto gemm = workloads::polybenchKernel(
+        "gemm", workloads::KernelVariant::Streaming);
+    SaMapper sa;
+    SearchOptions opts;
+    opts.perIiBudget = 2.0;
+    opts.totalBudget = 4.0;
+    auto r = searchMinIi(sa, gemm, s, opts);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.ii, 1);
+    EXPECT_TRUE(r.mapping->valid());
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+/** @file Tests for Linear / MLP modules and parameter registration. */
+
+#include <gtest/gtest.h>
+
+#include "nn/module.hh"
+#include "nn/ops.hh"
+
+namespace {
+
+using namespace lisa::nn;
+using lisa::Rng;
+
+TEST(Xavier, BoundsFollowShape)
+{
+    Rng rng(1);
+    Tensor w = xavier(10, 10, rng);
+    const double bound = std::sqrt(6.0 / 20.0);
+    for (int i = 0; i < 10; ++i) {
+        for (int j = 0; j < 10; ++j) {
+            EXPECT_LE(std::abs(w.at(i, j)), bound);
+        }
+    }
+    EXPECT_TRUE(w.requiresGrad());
+}
+
+TEST(Linear, ForwardShapeAndAffine)
+{
+    Rng rng(2);
+    Linear lin(3, 2, rng, "l");
+    Tensor x(4, 3);
+    Tensor y = lin.forward(x);
+    EXPECT_EQ(y.rows(), 4);
+    EXPECT_EQ(y.cols(), 2);
+    // Zero input: output equals the bias (zero-initialized).
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 2; ++j)
+            EXPECT_DOUBLE_EQ(y.at(i, j), 0.0);
+}
+
+TEST(Linear, ParametersNamed)
+{
+    Rng rng(3);
+    Linear lin(3, 2, rng, "mylayer");
+    const auto &params = lin.parameters();
+    ASSERT_EQ(params.size(), 2u);
+    EXPECT_EQ(params[0].first, "mylayer.w");
+    EXPECT_EQ(params[1].first, "mylayer.b");
+    EXPECT_EQ(params[0].second.rows(), 3);
+    EXPECT_EQ(params[0].second.cols(), 2);
+}
+
+TEST(Mlp, ForwardShape)
+{
+    Rng rng(4);
+    Mlp mlp(5, 7, 1, rng, "m");
+    Tensor x(3, 5);
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 5; ++j)
+            x.at(i, j) = 0.3 * (i + j);
+    Tensor y = mlp.forward(x);
+    EXPECT_EQ(y.rows(), 3);
+    EXPECT_EQ(y.cols(), 1);
+}
+
+TEST(Mlp, HasFourParameterTensors)
+{
+    Rng rng(5);
+    Mlp mlp(5, 5, 1, rng, "m");
+    EXPECT_EQ(mlp.parameters().size(), 4u);
+}
+
+TEST(Module, ZeroGradClearsAll)
+{
+    Rng rng(6);
+    Mlp mlp(2, 2, 1, rng, "m");
+    Tensor x = Tensor::fromValues(1, 2, {1.0, 2.0});
+    sum(mlp.forward(x)).backward();
+    bool any_nonzero = false;
+    for (const auto &[name, p] : mlp.parameters())
+        for (int i = 0; i < p.rows(); ++i)
+            for (int j = 0; j < p.cols(); ++j)
+                if (p.gradAt(i, j) != 0.0)
+                    any_nonzero = true;
+    EXPECT_TRUE(any_nonzero);
+    mlp.zeroGrad();
+    for (const auto &[name, p] : mlp.parameters())
+        for (int i = 0; i < p.rows(); ++i)
+            for (int j = 0; j < p.cols(); ++j)
+                EXPECT_DOUBLE_EQ(p.gradAt(i, j), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+/** @file Unit tests for the modulo routing resource graph. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/cgra.hh"
+#include "arch/mrrg.hh"
+#include "arch/systolic.hh"
+
+namespace {
+
+using namespace lisa::arch;
+
+TEST(Mrrg, ResourceCounts)
+{
+    CgraArch c(baselineCgra(4, 4));
+    Mrrg m(c, 3);
+    // Per layer: 16 FUs + 16*4 registers.
+    EXPECT_EQ(m.perLayerCount(), 16 + 64);
+    EXPECT_EQ(m.numResources(), 3 * 80);
+    EXPECT_EQ(m.ii(), 3);
+}
+
+TEST(Mrrg, IdsRoundTrip)
+{
+    CgraArch c(baselineCgra(4, 4));
+    Mrrg m(c, 2);
+    for (int t = 0; t < 2; ++t) {
+        for (int pe = 0; pe < 16; ++pe) {
+            int fu = m.fuId(pe, t);
+            EXPECT_EQ(m.resource(fu).kind, ResourceKind::Fu);
+            EXPECT_EQ(m.resource(fu).pe, pe);
+            EXPECT_EQ(m.resource(fu).time, t);
+            EXPECT_EQ(m.layerOfResource(fu), t);
+            for (int k = 0; k < 4; ++k) {
+                int rg = m.regId(pe, k, t);
+                EXPECT_EQ(m.resource(rg).kind, ResourceKind::Reg);
+                EXPECT_EQ(m.resource(rg).pe, pe);
+                EXPECT_EQ(m.resource(rg).reg, k);
+                EXPECT_EQ(m.resource(rg).time, t);
+            }
+        }
+    }
+}
+
+TEST(Mrrg, TimeWrapsModuloIi)
+{
+    CgraArch c(baselineCgra(4, 4));
+    Mrrg m(c, 2);
+    EXPECT_EQ(m.fuId(3, 0), m.fuId(3, 2));
+    EXPECT_EQ(m.fuId(3, 1), m.fuId(3, 5));
+    EXPECT_EQ(m.regId(3, 1, 0), m.regId(3, 1, 4));
+}
+
+TEST(Mrrg, MoveTargetsAdvanceOneLayer)
+{
+    CgraArch c(baselineCgra(4, 4));
+    Mrrg m(c, 3);
+    int fu = m.fuId(5, 0);
+    for (int next : m.resource(fu).moveTargets) {
+        EXPECT_EQ(m.layerOfResource(next), 1);
+        const Resource &r = m.resource(next);
+        if (r.kind == ResourceKind::Fu) {
+            // Route-through on a linked PE.
+            const auto &links = c.linkTargets(5);
+            EXPECT_NE(std::find(links.begin(), links.end(), r.pe),
+                      links.end());
+        } else {
+            // Register hold stays inside the PE.
+            EXPECT_EQ(r.pe, 5);
+        }
+    }
+    // 4 neighbours + 4 registers.
+    EXPECT_EQ(m.resource(fu).moveTargets.size(), 8u);
+}
+
+TEST(Mrrg, FeedersComeFromPreviousLayer)
+{
+    CgraArch c(baselineCgra(4, 4));
+    Mrrg m(c, 3);
+    for (int res : m.feeders(5, 2)) {
+        EXPECT_EQ(m.layerOfResource(res), 1);
+        const Resource &r = m.resource(res);
+        bool same_pe = r.pe == 5;
+        const auto &sources = c.linkSources(5);
+        bool neighbour = std::find(sources.begin(), sources.end(), r.pe) !=
+                         sources.end();
+        EXPECT_TRUE(same_pe || neighbour);
+    }
+    // Own PE + 4 neighbours, each with 1 FU + 4 regs.
+    EXPECT_EQ(m.feeders(5, 2).size(), 5u * 5u);
+}
+
+TEST(Mrrg, CanFeedMatchesFeederList)
+{
+    CgraArch c(baselineCgra(4, 4));
+    Mrrg m(c, 2);
+    int own_prev = m.fuId(5, 0);
+    EXPECT_TRUE(m.canFeed(own_prev, 5, 1));
+    int far = m.fuId(15, 0);
+    EXPECT_FALSE(m.canFeed(far, 0, 1));
+}
+
+TEST(Mrrg, SystolicSingleLayerNoRegs)
+{
+    SystolicArch s(5, 5);
+    Mrrg m(s, 1);
+    EXPECT_EQ(m.perLayerCount(), 25);
+    EXPECT_EQ(m.numResources(), 25);
+    // Moves stay in layer 0 and follow the E/N/S links.
+    int fu = m.fuId(6, 0);
+    for (int next : m.resource(fu).moveTargets) {
+        EXPECT_EQ(m.layerOfResource(next), 0);
+        EXPECT_EQ(m.resource(next).kind, ResourceKind::Fu);
+    }
+    // Feeders of a middle PE: linked sources only (not itself).
+    for (int res : m.feeders(6, 0)) {
+        EXPECT_NE(m.resource(res).pe, 6);
+    }
+}
+
+TEST(Mrrg, RejectsBadIi)
+{
+    CgraArch c(baselineCgra(4, 4));
+    EXPECT_EXIT(Mrrg(c, 0), ::testing::ExitedWithCode(1), "II");
+    EXPECT_EXIT(Mrrg(c, 25), ::testing::ExitedWithCode(1), "II");
+    SystolicArch s(5, 5);
+    EXPECT_EXIT(Mrrg(s, 2), ::testing::ExitedWithCode(1), "II");
+}
+
+class MrrgIiSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MrrgIiSweep, LayerStructureHolds)
+{
+    CgraArch c(baselineCgra(3, 3));
+    const int ii = GetParam();
+    Mrrg m(c, ii);
+    EXPECT_EQ(m.numResources(), ii * m.perLayerCount());
+    for (int id = 0; id < m.numResources(); ++id) {
+        EXPECT_EQ(m.layerOfResource(id), m.resource(id).time);
+        for (int next : m.resource(id).moveTargets)
+            EXPECT_EQ(m.layerOfResource(next),
+                      (m.resource(id).time + 1) % ii);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Iis, MrrgIiSweep, ::testing::Values(1, 2, 4, 8, 24));
+
+} // namespace

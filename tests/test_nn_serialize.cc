@@ -1,0 +1,96 @@
+/** @file Tests for module parameter save/load. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "nn/module.hh"
+#include "nn/serialize.hh"
+
+namespace {
+
+using namespace lisa::nn;
+using lisa::Rng;
+
+TEST(NnSerialize, RoundTripExactValues)
+{
+    Rng rng(1);
+    Mlp a(3, 3, 1, rng, "m");
+    std::ostringstream os;
+    saveModule(a, "test", os);
+
+    Rng rng2(99); // different init
+    Mlp b(3, 3, 1, rng2, "m");
+    std::istringstream is(os.str());
+    std::string error;
+    ASSERT_TRUE(loadModule(b, is, &error)) << error;
+
+    for (size_t i = 0; i < a.parameters().size(); ++i) {
+        const Tensor &ta = a.parameters()[i].second;
+        const Tensor &tb = b.parameters()[i].second;
+        for (int r = 0; r < ta.rows(); ++r)
+            for (int c = 0; c < ta.cols(); ++c)
+                EXPECT_DOUBLE_EQ(ta.at(r, c), tb.at(r, c));
+    }
+}
+
+TEST(NnSerialize, RejectsMissingHeader)
+{
+    Rng rng(1);
+    Mlp m(2, 2, 1, rng, "m");
+    std::istringstream is("garbage");
+    std::string error;
+    EXPECT_FALSE(loadModule(m, is, &error));
+    EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(NnSerialize, RejectsMissingParameter)
+{
+    Rng rng(1);
+    Mlp m(2, 2, 1, rng, "m");
+    std::istringstream is("lisa-model test\n");
+    std::string error;
+    EXPECT_FALSE(loadModule(m, is, &error));
+    EXPECT_NE(error.find("missing parameter"), std::string::npos);
+}
+
+TEST(NnSerialize, RejectsShapeMismatch)
+{
+    Rng rng(1);
+    Linear small(2, 1, rng, "l");
+    std::ostringstream os;
+    saveModule(small, "t", os);
+
+    Linear big(3, 1, rng, "l");
+    std::istringstream is(os.str());
+    std::string error;
+    EXPECT_FALSE(loadModule(big, is, &error));
+    EXPECT_NE(error.find("shape"), std::string::npos);
+}
+
+TEST(NnSerialize, FileRoundTrip)
+{
+    Rng rng(2);
+    Linear a(2, 2, rng, "l");
+    const std::string path = "/tmp/lisa_test_model.txt";
+    ASSERT_TRUE(saveModuleFile(a, "file-test", path));
+    Rng rng2(3);
+    Linear b(2, 2, rng2, "l");
+    std::string error;
+    ASSERT_TRUE(loadModuleFile(b, path, &error)) << error;
+    EXPECT_DOUBLE_EQ(a.parameters()[0].second.at(0, 0),
+                     b.parameters()[0].second.at(0, 0));
+    std::remove(path.c_str());
+}
+
+TEST(NnSerialize, MissingFileFails)
+{
+    Rng rng(1);
+    Linear m(2, 2, rng, "l");
+    std::string error;
+    EXPECT_FALSE(loadModuleFile(m, "/nonexistent/path.model", &error));
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+/** @file Gradient checks for every differentiable op: analytic gradients
+ *  are compared against central finite differences. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/ops.hh"
+#include "support/random.hh"
+
+namespace {
+
+using namespace lisa::nn;
+using lisa::Rng;
+
+/** Central finite-difference check of d(loss)/d(input). */
+void
+checkGradient(Tensor &input, const std::function<Tensor()> &loss,
+              double eps = 1e-5, double tol = 1e-5)
+{
+    input.zeroGrad();
+    Tensor l = loss();
+    l.backward();
+    for (int r = 0; r < input.rows(); ++r) {
+        for (int c = 0; c < input.cols(); ++c) {
+            double saved = input.at(r, c);
+            input.at(r, c) = saved + eps;
+            double up = loss().item();
+            input.at(r, c) = saved - eps;
+            double down = loss().item();
+            input.at(r, c) = saved;
+            double numeric = (up - down) / (2 * eps);
+            EXPECT_NEAR(input.gradAt(r, c), numeric, tol)
+                << "at (" << r << "," << c << ")";
+        }
+    }
+}
+
+Tensor
+randomTensor(int r, int c, Rng &rng, bool grad = true)
+{
+    Tensor t(r, c, grad);
+    for (int i = 0; i < r; ++i)
+        for (int j = 0; j < c; ++j)
+            t.at(i, j) = rng.uniform() * 2.0 - 1.0;
+    return t;
+}
+
+TEST(Ops, MatmulForward)
+{
+    Tensor a = Tensor::fromValues(2, 2, {1, 2, 3, 4});
+    Tensor b = Tensor::fromValues(2, 1, {5, 6});
+    Tensor c = matmul(a, b);
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 17);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 39);
+}
+
+TEST(Ops, MatmulGradient)
+{
+    Rng rng(1);
+    Tensor a = randomTensor(3, 4, rng);
+    Tensor b = randomTensor(4, 2, rng);
+    checkGradient(a, [&] { return sum(matmul(a, b)); });
+    checkGradient(b, [&] { return sum(matmul(a, b)); });
+}
+
+TEST(Ops, AddSubGradient)
+{
+    Rng rng(2);
+    Tensor a = randomTensor(2, 3, rng);
+    Tensor b = randomTensor(2, 3, rng);
+    checkGradient(a, [&] { return sum(add(a, b)); });
+    checkGradient(b, [&] { return sum(sub(a, b)); });
+}
+
+TEST(Ops, AddRowBroadcastGradient)
+{
+    Rng rng(3);
+    Tensor a = randomTensor(3, 4, rng);
+    Tensor bias = randomTensor(1, 4, rng);
+    checkGradient(bias, [&] { return sum(addRowBroadcast(a, bias)); });
+    checkGradient(a, [&] { return sum(addRowBroadcast(a, bias)); });
+}
+
+TEST(Ops, HadamardGradient)
+{
+    Rng rng(4);
+    Tensor a = randomTensor(2, 3, rng);
+    Tensor b = randomTensor(2, 3, rng);
+    checkGradient(a, [&] { return sum(hadamard(a, b)); });
+}
+
+TEST(Ops, ReluForwardAndGradient)
+{
+    Tensor x = Tensor::fromValues(1, 3, {-1.0, 0.5, 2.0}, true);
+    Tensor y = relu(x);
+    EXPECT_DOUBLE_EQ(y.at(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(y.at(0, 1), 0.5);
+    checkGradient(x, [&] { return sum(relu(x)); });
+}
+
+TEST(Ops, ConcatColsForwardAndGradient)
+{
+    Rng rng(5);
+    Tensor a = randomTensor(2, 2, rng);
+    Tensor b = randomTensor(2, 3, rng);
+    Tensor c = concatCols({a, b});
+    EXPECT_EQ(c.cols(), 5);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), a.at(1, 0));
+    EXPECT_DOUBLE_EQ(c.at(1, 2), b.at(1, 0));
+    checkGradient(a, [&] { return sum(concatCols({a, b})); });
+    checkGradient(b, [&] { return sum(concatCols({a, b})); });
+}
+
+TEST(Ops, GatherRowsForwardAndGradient)
+{
+    Rng rng(6);
+    Tensor a = randomTensor(4, 2, rng);
+    std::vector<int> idx{2, 0, 2};
+    Tensor g = gatherRows(a, idx);
+    EXPECT_EQ(g.rows(), 3);
+    EXPECT_DOUBLE_EQ(g.at(0, 1), a.at(2, 1));
+    checkGradient(a, [&] { return sum(gatherRows(a, idx)); });
+}
+
+TEST(Ops, SegmentPoolMeanForward)
+{
+    Tensor a = Tensor::fromValues(3, 1, {1, 2, 4});
+    Tensor p = segmentPool(a, {{0, 1}, {2}, {}}, Pool::Mean);
+    EXPECT_DOUBLE_EQ(p.at(0, 0), 1.5);
+    EXPECT_DOUBLE_EQ(p.at(1, 0), 4);
+    EXPECT_DOUBLE_EQ(p.at(2, 0), 0); // empty group -> zero row
+}
+
+TEST(Ops, SegmentPoolMinMaxForward)
+{
+    Tensor a = Tensor::fromValues(3, 2, {1, 9, 5, 2, 3, 7});
+    Tensor mn = segmentPool(a, {{0, 1, 2}}, Pool::Min);
+    Tensor mx = segmentPool(a, {{0, 1, 2}}, Pool::Max);
+    EXPECT_DOUBLE_EQ(mn.at(0, 0), 1);
+    EXPECT_DOUBLE_EQ(mn.at(0, 1), 2);
+    EXPECT_DOUBLE_EQ(mx.at(0, 0), 5);
+    EXPECT_DOUBLE_EQ(mx.at(0, 1), 9);
+}
+
+class SegmentPoolGrad : public ::testing::TestWithParam<Pool>
+{
+};
+
+TEST_P(SegmentPoolGrad, MatchesFiniteDifference)
+{
+    Rng rng(7);
+    Tensor a = randomTensor(5, 3, rng);
+    std::vector<std::vector<int>> groups{{0, 2}, {1, 3, 4}, {}, {2}};
+    checkGradient(a, [&] { return sum(segmentPool(a, groups, GetParam())); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SegmentPoolGrad,
+                         ::testing::Values(Pool::Min, Pool::Max, Pool::Mean,
+                                           Pool::Sum));
+
+TEST(Ops, ScaleRowsForwardAndGradient)
+{
+    Rng rng(8);
+    Tensor a = randomTensor(3, 2, rng);
+    Tensor gate = randomTensor(3, 1, rng);
+    Tensor y = scaleRows(a, gate);
+    EXPECT_DOUBLE_EQ(y.at(1, 0), a.at(1, 0) * gate.at(1, 0));
+    checkGradient(a, [&] { return sum(scaleRows(a, gate)); });
+    checkGradient(gate, [&] { return sum(scaleRows(a, gate)); });
+}
+
+TEST(Ops, MseLossForwardAndGradient)
+{
+    Tensor p = Tensor::fromValues(2, 1, {1.0, 3.0}, true);
+    Tensor t = Tensor::fromValues(2, 1, {0.0, 5.0});
+    Tensor l = mseLoss(p, t);
+    EXPECT_DOUBLE_EQ(l.item(), (1.0 + 4.0) / 2.0);
+    checkGradient(p, [&] { return mseLoss(p, t); });
+}
+
+TEST(Ops, ShapeMismatchPanics)
+{
+    Tensor a(2, 2), b(3, 2);
+    EXPECT_DEATH(add(a, b), "shape");
+    EXPECT_DEATH(matmul(a, b), "inner dims");
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+/** @file Tests for the Adam optimizer: descent on convex problems and a
+ *  tiny end-to-end regression fit. */
+
+#include <gtest/gtest.h>
+
+#include "nn/module.hh"
+#include "nn/ops.hh"
+#include "nn/optimizer.hh"
+
+namespace {
+
+using namespace lisa::nn;
+using lisa::Rng;
+
+/** A module exposing one raw parameter. */
+class OneParam : public Module
+{
+  public:
+    explicit OneParam(double init)
+    {
+        p = registerParam("p", Tensor::fromValues(1, 1, {init}, true));
+    }
+    Tensor p;
+};
+
+TEST(Adam, MinimizesQuadratic)
+{
+    OneParam m(5.0);
+    AdamConfig cfg;
+    cfg.learningRate = 0.1;
+    cfg.weightDecay = 0.0;
+    Adam adam(cfg);
+    adam.attach(m);
+    for (int i = 0; i < 300; ++i) {
+        // loss = p^2
+        Tensor loss = hadamard(m.p, m.p);
+        loss.backward();
+        adam.step();
+    }
+    EXPECT_NEAR(m.p.at(0, 0), 0.0, 1e-2);
+}
+
+TEST(Adam, StepClearsGradients)
+{
+    OneParam m(1.0);
+    Adam adam;
+    adam.attach(m);
+    hadamard(m.p, m.p).backward();
+    EXPECT_NE(m.p.gradAt(0, 0), 0.0);
+    adam.step();
+    EXPECT_DOUBLE_EQ(m.p.gradAt(0, 0), 0.0);
+}
+
+TEST(Adam, WeightDecayShrinksIdleParameter)
+{
+    OneParam m(1.0);
+    AdamConfig cfg;
+    cfg.weightDecay = 0.1;
+    Adam adam(cfg);
+    adam.attach(m);
+    // No loss gradient, only decay.
+    for (int i = 0; i < 50; ++i)
+        adam.step();
+    EXPECT_LT(std::abs(m.p.at(0, 0)), 1.0);
+}
+
+TEST(Adam, FitsLinearFunction)
+{
+    // y = 2x - 1 from 16 samples.
+    Rng rng(3);
+    Linear lin(1, 1, rng, "fit");
+    Adam adam(AdamConfig{0.05, 0.9, 0.999, 1e-8, 0.0});
+    adam.attach(lin);
+
+    Tensor x(16, 1);
+    Tensor y(16, 1);
+    for (int i = 0; i < 16; ++i) {
+        double v = i / 8.0 - 1.0;
+        x.at(i, 0) = v;
+        y.at(i, 0) = 2.0 * v - 1.0;
+    }
+    double final_loss = 1e9;
+    for (int epoch = 0; epoch < 500; ++epoch) {
+        Tensor loss = mseLoss(lin.forward(x), y);
+        final_loss = loss.item();
+        loss.backward();
+        adam.step();
+    }
+    EXPECT_LT(final_loss, 1e-3);
+}
+
+} // namespace

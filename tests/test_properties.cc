@@ -1,0 +1,167 @@
+/** @file Property-based tests: invariants that must hold for every
+ *  (random DFG, architecture, mapper) combination. */
+
+#include <gtest/gtest.h>
+
+#include "arch/cgra.hh"
+#include "core/label_extract.hh"
+#include "core/lisa_mapper.hh"
+#include "dfg/generator.hh"
+#include "mappers/sa_mapper.hh"
+#include "mapping/cost.hh"
+#include "mapping/ii_search.hh"
+
+namespace {
+
+using namespace lisa;
+
+/** Check every structural invariant of a claimed-valid mapping. */
+void
+checkMappingInvariants(const map::Mapping &m)
+{
+    const auto &dfg = m.dfg();
+    const auto &mrrg = m.mrrg();
+    ASSERT_TRUE(m.valid());
+
+    // 1. No resource carries two distinct value instances.
+    for (int res = 0; res < mrrg.numResources(); ++res)
+        EXPECT_LE(m.numInstancesOn(res), 1);
+
+    // 2. Each edge's route has exactly the schedule-implied length and its
+    //    final hop can feed the consumer.
+    for (size_t e = 0; e < dfg.numEdges(); ++e) {
+        auto eid = static_cast<dfg::EdgeId>(e);
+        const dfg::Edge &edge = dfg.edge(eid);
+        const auto &path = m.route(eid);
+        if (mrrg.accel().temporalMapping()) {
+            int len = m.requiredLength(eid);
+            ASSERT_GE(len, 0);
+            // Paths are complete from the producer (fanout hops shared
+            // via refcounts), so the length is exact.
+            EXPECT_EQ(path.size(), static_cast<size_t>(len));
+        }
+        // Some feeder of the consumer holds the value instance at the
+        // right absolute time (the producer's FU, this route's last hop,
+        // or a shared fanout holder).
+        const auto &dst = m.placement(edge.dst);
+        const auto &src = m.placement(edge.src);
+        int arrival = mrrg.accel().temporalMapping()
+                          ? src.time + m.requiredLength(eid)
+                          : 0;
+        int64_t key = m.instanceKey(edge.src, arrival);
+        bool fed = false;
+        for (int holder : mrrg.feeders(dst.pe, dst.time))
+            if (m.holdsInstance(holder, key))
+                fed = true;
+        EXPECT_TRUE(fed) << "edge " << e
+                         << ": no feeder holds the value instance";
+
+        // 3. The path starts at the producer and every hop follows a
+        //    legal move edge.
+        if (!path.empty()) {
+            int producer = mrrg.fuId(m.placement(edge.src).pe,
+                                     m.placement(edge.src).time);
+            const auto &t0 = mrrg.resource(producer).moveTargets;
+            EXPECT_NE(std::find(t0.begin(), t0.end(), path[0]), t0.end())
+                << "first hop unreachable from producer";
+            for (size_t i = 1; i < path.size(); ++i) {
+                const auto &targets =
+                    mrrg.resource(path[i - 1]).moveTargets;
+                EXPECT_NE(
+                    std::find(targets.begin(), targets.end(), path[i]),
+                    targets.end())
+                    << "route hop is not a legal move";
+            }
+        }
+    }
+
+    // 4. Ops sit on PEs that support them.
+    for (size_t v = 0; v < dfg.numNodes(); ++v) {
+        auto vid = static_cast<dfg::NodeId>(v);
+        EXPECT_TRUE(
+            mrrg.accel().supportsOp(m.placement(vid).pe, dfg.node(vid).op));
+    }
+}
+
+class MapperProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(MapperProperty, SaMappingsSatisfyAllInvariants)
+{
+    Rng rng(GetParam());
+    dfg::GeneratorConfig gen;
+    gen.minNodes = 8;
+    gen.maxNodes = 16;
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    for (int i = 0; i < 3; ++i) {
+        dfg::Dfg g = dfg::generateRandomDfg(gen, rng);
+        map::SaMapper sa;
+        map::SearchOptions opts;
+        opts.perIiBudget = 0.5;
+        opts.totalBudget = 3.0;
+        opts.seed = GetParam() + i;
+        auto r = map::searchMinIi(sa, g, c, opts);
+        if (r.success)
+            checkMappingInvariants(*r.mapping);
+    }
+}
+
+TEST_P(MapperProperty, LisaMappingsSatisfyAllInvariants)
+{
+    Rng rng(GetParam() * 31 + 7);
+    dfg::GeneratorConfig gen;
+    gen.minNodes = 8;
+    gen.maxNodes = 16;
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    for (int i = 0; i < 3; ++i) {
+        dfg::Dfg g = dfg::generateRandomDfg(gen, rng);
+        dfg::Analysis an(g);
+        core::LisaMapper lm(core::initialLabels(g, an));
+        map::SearchOptions opts;
+        opts.perIiBudget = 0.5;
+        opts.totalBudget = 3.0;
+        opts.seed = GetParam() + i;
+        auto r = map::searchMinIi(lm, g, c, opts);
+        if (r.success) {
+            checkMappingInvariants(*r.mapping);
+            // Extracted labels are finite and sane on any valid mapping.
+            core::Labels lbl = core::extractLabels(*r.mapping, an);
+            for (double t : lbl.temporalDist)
+                EXPECT_GE(t, 1.0);
+            for (double s : lbl.spatialDist) {
+                EXPECT_GE(s, 0.0);
+                EXPECT_LE(s, 6.0); // 4x4 Manhattan diameter
+            }
+        }
+    }
+}
+
+TEST_P(MapperProperty, CostIsZeroOveruseMonotone)
+{
+    // A valid mapping's cost equals pure route cost; adding overuse via a
+    // contrived second mapping must always cost more.
+    Rng rng(GetParam());
+    dfg::GeneratorConfig gen;
+    gen.minNodes = 8;
+    gen.maxNodes = 12;
+    dfg::Dfg g = dfg::generateRandomDfg(gen, rng);
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    map::SaMapper sa;
+    map::SearchOptions opts;
+    opts.perIiBudget = 0.5;
+    opts.totalBudget = 3.0;
+    auto r = map::searchMinIi(sa, g, c, opts);
+    if (!r.success)
+        return;
+    map::CostParams params;
+    double valid_cost = map::mappingCost(*r.mapping, params);
+    EXPECT_DOUBLE_EQ(valid_cost,
+                     params.routeResourceWeight *
+                         r.mapping->totalRouteResources());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapperProperty,
+                         ::testing::Values(3, 11, 29, 71));
+
+} // namespace

@@ -1,0 +1,220 @@
+/** @file Unit tests for the MRRG router (temporal exact-length DP and
+ *  spatial Dijkstra). */
+
+#include <gtest/gtest.h>
+
+#include "arch/cgra.hh"
+#include "arch/systolic.hh"
+#include "dfg/builder.hh"
+#include "mapping/router.hh"
+
+namespace {
+
+using namespace lisa;
+using namespace lisa::map;
+using dfg::OpCode;
+
+dfg::Dfg
+chain2()
+{
+    dfg::DfgBuilder b("c2");
+    auto x = b.load("x");
+    b.op(OpCode::Add, {x});
+    return b.build();
+}
+
+TEST(Router, DirectFeedNeedsNoResources)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 2);
+    dfg::Dfg g = chain2();
+    Mapping m(g, mrrg);
+    m.placeNode(0, 0, 0);
+    m.placeNode(1, 1, 1); // adjacent, one cycle later
+    auto r = routeEdge(m, 0, RouterCosts{});
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->path.empty());
+    EXPECT_EQ(r->cost, 0.0);
+}
+
+TEST(Router, OneHopThroughRouteThrough)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 4);
+    dfg::Dfg g = chain2();
+    Mapping m(g, mrrg);
+    m.placeNode(0, 0, 0);  // (0,0)
+    m.placeNode(1, 2, 2);  // two hops east, two cycles later
+    ASSERT_EQ(m.requiredLength(0), 1);
+    auto r = routeEdge(m, 0, RouterCosts{});
+    ASSERT_TRUE(r.has_value());
+    ASSERT_EQ(r->path.size(), 1u);
+    const auto &res = mrrg->resource(r->path[0]);
+    EXPECT_EQ(res.time, 1);
+    // Holder must be adjacent-or-equal to both endpoints' PEs.
+    EXPECT_LE(c.spatialDistance(0, res.pe), 1);
+    EXPECT_LE(c.spatialDistance(res.pe, 2), 1);
+}
+
+TEST(Router, RegisterHoldWhenConsumerIsLate)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 8);
+    dfg::Dfg g = chain2();
+    Mapping m(g, mrrg);
+    m.placeNode(0, 0, 0);
+    m.placeNode(1, 0, 4); // same PE, 4 cycles later: hold 3 cycles
+    ASSERT_EQ(m.requiredLength(0), 3);
+    auto r = routeEdge(m, 0, RouterCosts{});
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->path.size(), 3u);
+    // Registers are cheaper than route-throughs, so the router holds.
+    for (int res : r->path)
+        EXPECT_EQ(mrrg->resource(res).kind, arch::ResourceKind::Reg);
+}
+
+TEST(Router, NegativeLengthFails)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 2);
+    dfg::Dfg g = chain2();
+    Mapping m(g, mrrg);
+    m.placeNode(0, 0, 3);
+    m.placeNode(1, 1, 1); // consumer before producer
+    EXPECT_FALSE(routeEdge(m, 0, RouterCosts{}).has_value());
+}
+
+TEST(Router, StrictModeBlocksOccupied)
+{
+    arch::CgraArch c(arch::baselineCgra(1, 3)); // a 1x3 corridor
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 2);
+
+    dfg::DfgBuilder b("t");
+    auto x = b.load("x");
+    auto y = b.op(OpCode::Add, {x});
+    auto z = b.op(OpCode::Add, {y});
+    (void)z;
+    dfg::Dfg g = b.build();
+
+    Mapping m(g, mrrg);
+    m.placeNode(0, 0, 0);
+    m.placeNode(2, 1, 1); // occupies the corridor's middle FU at layer 1
+    m.placeNode(1, 2, 2); // 0 -> 1 must route through the middle at layer 1
+
+    RouterCosts strict;
+    strict.allowOveruse = false;
+    auto r = routeEdge(m, 0, strict);
+    // Only way from PE0 to PE2's feeders in exactly 1 step is FU(1,1)
+    // (occupied) or REG(0,*,1) (a register of PE0, which feeds nothing
+    // adjacent to PE2)... registers of PE0 cannot feed PE2, so: blocked.
+    EXPECT_FALSE(r.has_value());
+
+    RouterCosts lenient;
+    auto r2 = routeEdge(m, 0, lenient);
+    ASSERT_TRUE(r2.has_value());
+    EXPECT_GT(r2->cost, lenient.overusePenalty);
+}
+
+TEST(Router, FanoutReusesExistingRoute)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 8);
+
+    dfg::DfgBuilder b("fan");
+    auto x = b.load("x");
+    b.op(OpCode::Add, {x});
+    b.op(OpCode::Mul, {x});
+    dfg::Dfg g = b.build();
+
+    Mapping m(g, mrrg);
+    m.placeNode(0, 0, 0);
+    m.placeNode(1, 0, 3);
+    m.placeNode(2, 0, 3);
+    auto r1 = routeEdge(m, 0, RouterCosts{});
+    ASSERT_TRUE(r1.has_value());
+    EXPECT_EQ(r1->path.size(), 2u);
+    m.setRoute(0, r1->path);
+    // The second consumer reads the same held value: zero extra cost, and
+    // the stored path is complete (shared hops are reference-counted).
+    auto r2 = routeEdge(m, 1, RouterCosts{});
+    ASSERT_TRUE(r2.has_value());
+    EXPECT_EQ(r2->cost, 0.0);
+    EXPECT_EQ(r2->path, r1->path);
+    // Ripping up one branch keeps the shared hops alive for the sibling.
+    m.setRoute(1, r2->path);
+    m.clearRoute(0);
+    for (int res : r2->path)
+        EXPECT_EQ(m.numInstancesOn(res), 1);
+}
+
+TEST(Router, SelfRecurrenceAtIiOne)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 1);
+    dfg::DfgBuilder b("acc");
+    auto x = b.load("x");
+    auto acc = b.op(OpCode::Add, {x});
+    b.recurrence(acc, acc);
+    dfg::Dfg g = b.build();
+    Mapping m(g, mrrg);
+    m.placeNode(0, 0, 0);
+    m.placeNode(1, 1, 1);
+    // The self edge (distance 1, II 1) has length 0: own output read back.
+    auto r = routeEdge(m, 1, RouterCosts{});
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->path.empty());
+}
+
+TEST(Router, SpatialDijkstraFindsForwardingChain)
+{
+    arch::SystolicArch s(3, 5);
+    auto mrrg = std::make_shared<const arch::Mrrg>(s, 1);
+    dfg::Dfg g = chain2();
+    Mapping m(g, mrrg);
+    // Load in column 0, consumer in column 3: two forwarding PEs needed.
+    m.placeNode(0, 0, 0);      // (0,0)
+    m.placeNode(1, 3, 0);      // (0,3)
+    auto r = routeEdge(m, 0, RouterCosts{});
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->path.size(), 2u);
+}
+
+TEST(Router, SpatialAdjacentDirectFeed)
+{
+    arch::SystolicArch s(3, 5);
+    auto mrrg = std::make_shared<const arch::Mrrg>(s, 1);
+    dfg::Dfg g = chain2();
+    Mapping m(g, mrrg);
+    m.placeNode(0, 0, 0);
+    m.placeNode(1, 1, 0); // east neighbour
+    auto r = routeEdge(m, 0, RouterCosts{});
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->path.empty());
+}
+
+TEST(RouteAll, ReportsFailures)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 2);
+    dfg::Dfg g = chain2();
+    Mapping m(g, mrrg);
+    m.placeNode(0, 0, 3);
+    m.placeNode(1, 1, 1); // infeasible order
+    EXPECT_EQ(routeAll(m, RouterCosts{}), 1);
+    EXPECT_EQ(m.numRouted(), 0u);
+}
+
+TEST(RerouteIncident, RipUpAndReroute)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 4);
+    dfg::Dfg g = chain2();
+    Mapping m(g, mrrg);
+    m.placeNode(0, 0, 0);
+    m.placeNode(1, 1, 1);
+    EXPECT_EQ(routeAll(m, RouterCosts{}), 0);
+    EXPECT_EQ(rerouteIncident(m, 1, RouterCosts{}), 0);
+    EXPECT_TRUE(m.isRouted(0));
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+/** @file Unit tests for DFG text (de)serialization and dot output. */
+
+#include <gtest/gtest.h>
+
+#include "dfg/builder.hh"
+#include "dfg/generator.hh"
+#include "dfg/serialize.hh"
+
+namespace {
+
+using namespace lisa::dfg;
+using lisa::Rng;
+
+Dfg
+sample()
+{
+    DfgBuilder b("sample");
+    auto x = b.load("x");
+    auto y = b.op(OpCode::Mul, {x, x}, "sq");
+    auto acc = b.op(OpCode::Add, {y});
+    b.recurrence(acc, acc);
+    b.store(acc, "out");
+    return b.build();
+}
+
+TEST(Serialize, RoundTrip)
+{
+    Dfg g = sample();
+    std::string text = toText(g);
+    std::string error;
+    auto parsed = fromText(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->name(), "sample");
+    ASSERT_EQ(parsed->numNodes(), g.numNodes());
+    ASSERT_EQ(parsed->numEdges(), g.numEdges());
+    for (size_t i = 0; i < g.numNodes(); ++i) {
+        EXPECT_EQ(parsed->node(static_cast<NodeId>(i)).op,
+                  g.node(static_cast<NodeId>(i)).op);
+    }
+    for (size_t i = 0; i < g.numEdges(); ++i) {
+        const Edge &a = parsed->edge(static_cast<EdgeId>(i));
+        const Edge &b = g.edge(static_cast<EdgeId>(i));
+        EXPECT_EQ(a.src, b.src);
+        EXPECT_EQ(a.dst, b.dst);
+        EXPECT_EQ(a.iterDistance, b.iterDistance);
+    }
+}
+
+TEST(Serialize, RoundTripRandomGraphs)
+{
+    GeneratorConfig cfg;
+    Rng rng(77);
+    for (int i = 0; i < 10; ++i) {
+        Dfg g = generateRandomDfg(cfg, rng);
+        auto parsed = fromText(toText(g));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(toText(*parsed), toText(g));
+    }
+}
+
+TEST(Serialize, CommentsAndBlanksIgnored)
+{
+    std::string text = "# header comment\n"
+                       "dfg t\n"
+                       "\n"
+                       "node 0 load x # trailing comment\n"
+                       "node 1 add\n"
+                       "edge 0 1\n";
+    auto parsed = fromText(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->numNodes(), 2u);
+}
+
+TEST(Serialize, RejectsMissingHeader)
+{
+    std::string error;
+    EXPECT_FALSE(fromText("node 0 add\n", &error).has_value());
+    EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(Serialize, RejectsNonDenseNodeIds)
+{
+    std::string error;
+    EXPECT_FALSE(
+        fromText("dfg t\nnode 1 add\n", &error).has_value());
+    EXPECT_NE(error.find("dense"), std::string::npos);
+}
+
+TEST(Serialize, RejectsEdgeOutOfRange)
+{
+    std::string error;
+    EXPECT_FALSE(
+        fromText("dfg t\nnode 0 add\nedge 0 5\n", &error).has_value());
+    EXPECT_NE(error.find("range"), std::string::npos);
+}
+
+TEST(Serialize, RejectsInvalidGraph)
+{
+    // Two disconnected nodes fail Dfg::validate at parse time.
+    std::string error;
+    EXPECT_FALSE(fromText("dfg t\nnode 0 load\nnode 1 load\n", &error)
+                     .has_value());
+    EXPECT_NE(error.find("invalid"), std::string::npos);
+}
+
+TEST(Serialize, DotContainsNodesAndRecurrenceStyle)
+{
+    Dfg g = sample();
+    std::string dot = toDot(g);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+    EXPECT_NE(dot.find("mul"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+/** @file Unit tests for the support utilities. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/random.hh"
+#include "support/stopwatch.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace lisa;
+
+TEST(Rng, DeterministicWithSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000), b.uniformInt(0, 1000));
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        int v = rng.uniformInt(-3, 7);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 7);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, IndexCoversRange)
+{
+    Rng rng(3);
+    std::vector<int> seen(5, 0);
+    for (int i = 0; i < 500; ++i)
+        ++seen[rng.index(5)];
+    for (int count : seen)
+        EXPECT_GT(count, 0);
+}
+
+TEST(Rng, PickReturnsElement)
+{
+    Rng rng(4);
+    std::vector<int> v{10, 20, 30};
+    for (int i = 0; i < 50; ++i) {
+        int p = rng.pick(v);
+        EXPECT_TRUE(p == 10 || p == 20 || p == 30);
+    }
+}
+
+TEST(Rng, NormalRoughlyCentred)
+{
+    Rng rng(5);
+    double sum = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(3.0, 1.0);
+    EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(6);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Stopwatch, MonotonicNonNegative)
+{
+    Stopwatch sw;
+    double a = sw.seconds();
+    double b = sw.seconds();
+    EXPECT_GE(a, 0.0);
+    EXPECT_GE(b, a);
+}
+
+TEST(Stopwatch, ResetRestarts)
+{
+    Stopwatch sw;
+    volatile int sink = 0;
+    for (int i = 0; i < 100000; ++i)
+        sink = sink + 1;
+    sw.reset();
+    EXPECT_LT(sw.seconds(), 0.5);
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowArityMismatchDies)
+{
+    Table t({"one", "two"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+TEST(FmtDouble, Decimals)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+} // namespace

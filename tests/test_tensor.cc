@@ -1,0 +1,86 @@
+/** @file Unit tests for the Tensor container and backward() machinery. */
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.hh"
+#include "nn/tensor.hh"
+
+namespace {
+
+using namespace lisa::nn;
+
+TEST(Tensor, ConstructionAndAccess)
+{
+    Tensor t(2, 3);
+    EXPECT_EQ(t.rows(), 2);
+    EXPECT_EQ(t.cols(), 3);
+    EXPECT_EQ(t.size(), 6u);
+    t.at(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(t.at(1, 2), 5.0);
+    EXPECT_DOUBLE_EQ(t.at(0, 0), 0.0);
+}
+
+TEST(Tensor, FromValuesRowMajor)
+{
+    Tensor t = Tensor::fromValues(2, 2, {1, 2, 3, 4});
+    EXPECT_DOUBLE_EQ(t.at(0, 1), 2);
+    EXPECT_DOUBLE_EQ(t.at(1, 0), 3);
+}
+
+TEST(Tensor, ScalarAndItem)
+{
+    Tensor s = Tensor::scalar(2.5);
+    EXPECT_DOUBLE_EQ(s.item(), 2.5);
+}
+
+TEST(Tensor, ItemRejectsNonScalar)
+{
+    Tensor t(2, 2);
+    EXPECT_DEATH(t.item(), "1x1");
+}
+
+TEST(Tensor, BackwardThroughChain)
+{
+    // z = sum(relu(x * 2)); dz/dx = 2 where x > 0.
+    Tensor x = Tensor::fromValues(1, 3, {1.0, -1.0, 2.0}, true);
+    Tensor z = sum(relu(scale(x, 2.0)));
+    EXPECT_DOUBLE_EQ(z.item(), 6.0);
+    z.backward();
+    EXPECT_DOUBLE_EQ(x.gradAt(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(x.gradAt(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(x.gradAt(0, 2), 2.0);
+}
+
+TEST(Tensor, GradsAccumulateAcrossBackwardCalls)
+{
+    Tensor x = Tensor::fromValues(1, 1, {3.0}, true);
+    sum(scale(x, 1.0)).backward();
+    sum(scale(x, 1.0)).backward();
+    EXPECT_DOUBLE_EQ(x.gradAt(0, 0), 2.0);
+    x.zeroGrad();
+    EXPECT_DOUBLE_EQ(x.gradAt(0, 0), 0.0);
+}
+
+TEST(Tensor, DiamondGraphSumsGradients)
+{
+    // y = sum(x + x): dy/dx = 2.
+    Tensor x = Tensor::fromValues(1, 2, {1.0, 2.0}, true);
+    Tensor y = sum(add(x, x));
+    y.backward();
+    EXPECT_DOUBLE_EQ(x.gradAt(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(x.gradAt(0, 1), 2.0);
+}
+
+TEST(Tensor, BackwardRequiresScalar)
+{
+    Tensor x(2, 2, true);
+    EXPECT_DEATH(x.backward(), "scalar");
+}
+
+TEST(Tensor, RejectsBadShape)
+{
+    EXPECT_DEATH(Tensor(0, 3), "shape");
+    EXPECT_DEATH(Tensor(2, -1), "shape");
+}
+
+} // namespace

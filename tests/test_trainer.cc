@@ -1,0 +1,107 @@
+/** @file Trainer tests: losses must fall and the accuracy metrics must
+ *  implement the paper's tolerance rules. */
+
+#include <gtest/gtest.h>
+
+#include "core/labels.hh"
+#include "dfg/generator.hh"
+#include "gnn/accuracy.hh"
+#include "gnn/trainer.hh"
+
+namespace {
+
+using namespace lisa;
+using namespace lisa::gnn;
+
+/** Synthetic samples whose labels are simple functions of the attributes,
+ *  so a short training run must fit them. */
+std::vector<LabeledSample>
+syntheticSamples(int count, Rng &rng)
+{
+    dfg::GeneratorConfig cfg;
+    cfg.minNodes = 8;
+    cfg.maxNodes = 14;
+    std::vector<LabeledSample> samples;
+    for (int i = 0; i < count; ++i) {
+        dfg::Dfg g = dfg::generateRandomDfg(cfg, rng);
+        dfg::Analysis an(g);
+        LabeledSample s;
+        s.attrs = computeAttributes(g, an);
+        for (size_t v = 0; v < g.numNodes(); ++v)
+            s.scheduleOrder.push_back(an.asap(static_cast<dfg::NodeId>(v)));
+        for (size_t e = 0; e < g.numEdges(); ++e)
+            s.spatialDist.push_back(1.0);
+        for (size_t e = 0; e < g.numEdges(); ++e) {
+            const auto &edge = g.edge(static_cast<dfg::EdgeId>(e));
+            s.temporalDist.push_back(
+                std::max(1, an.asap(edge.dst) - an.asap(edge.src)));
+        }
+        for (const auto &p : an.sameLevelPairs()) {
+            (void)p;
+            s.association.push_back(2.0);
+        }
+        samples.push_back(std::move(s));
+    }
+    return samples;
+}
+
+TEST(Trainer, LossesDecrease)
+{
+    Rng rng(1);
+    auto samples = syntheticSamples(6, rng);
+    LabelModels models(rng);
+    TrainConfig short_cfg;
+    short_cfg.epochs = 2;
+    TrainConfig long_cfg;
+    long_cfg.epochs = 60;
+
+    // Continue training the same models: the mean epoch loss must fall.
+    auto first = trainAll(models, samples, short_cfg);
+    auto final = trainAll(models, samples, long_cfg);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_LT(final[i], first[i] + 1e-9)
+            << "label " << i + 1 << " did not improve";
+}
+
+TEST(Trainer, FitsConstantLabelsToHighAccuracy)
+{
+    Rng rng(2);
+    auto samples = syntheticSamples(8, rng);
+    LabelModels models(rng);
+    TrainConfig cfg;
+    cfg.epochs = 120;
+    trainAll(models, samples, cfg);
+    auto acc = evaluateAccuracy(models, samples);
+    // Constant / near-linear targets are easy: tolerance accuracies high.
+    EXPECT_GT(acc[1], 0.9); // association == 2 within +-1
+    EXPECT_GT(acc[2], 0.9); // spatial == 1 within +-1
+    EXPECT_GT(acc[3], 0.9); // temporal within +-2
+}
+
+TEST(Accuracy, ExactRoundedRule)
+{
+    nn::Tensor pred = nn::Tensor::fromValues(3, 1, {1.4, 2.6, 0.4});
+    std::vector<double> target{1.0, 2.0, 1.0};
+    // round(1.4)=1==1; round(2.6)=3!=2; round(0.4)=0!=1.
+    EXPECT_NEAR(exactRoundedAccuracy(pred, target), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Accuracy, ToleranceRule)
+{
+    nn::Tensor pred = nn::Tensor::fromValues(4, 1, {0.0, 1.5, 5.0, 3.0});
+    std::vector<double> target{1.0, 1.0, 3.0, 3.0};
+    EXPECT_NEAR(toleranceAccuracy(pred, target, 1.0), 0.75, 1e-12);
+    EXPECT_NEAR(toleranceAccuracy(pred, target, 2.0), 1.0, 1e-12);
+}
+
+TEST(Accuracy, EmptySampleSetIsVacuouslyAccurate)
+{
+    Rng rng(1);
+    LabelModels models(rng);
+    std::vector<LabeledSample> none;
+    auto acc = evaluateAccuracy(models, none);
+    for (double a : acc)
+        EXPECT_DOUBLE_EQ(a, 1.0);
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+/** @file Tests for the PolyBench workload definitions. */
+
+#include <gtest/gtest.h>
+
+#include "arch/systolic.hh"
+#include "dfg/analysis.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace lisa;
+using namespace lisa::workloads;
+
+TEST(Workloads, SuiteHasTwelveValidKernels)
+{
+    auto suite = polybenchSuite();
+    ASSERT_EQ(suite.size(), 12u);
+    for (const auto &w : suite) {
+        std::string why;
+        EXPECT_TRUE(w.dfg.validate(&why)) << w.name << ": " << why;
+        EXPECT_EQ(w.dfg.name(), w.name);
+        // CGRA variants carry addressing: realistic 10+ node bodies.
+        EXPECT_GE(w.dfg.numNodes(), 10u) << w.name;
+        EXPECT_LE(w.dfg.numNodes(), 32u) << w.name;
+    }
+}
+
+TEST(Workloads, AccumulatorKernelsHaveRecurrences)
+{
+    for (const char *name : {"gemm", "syrk", "gesummv", "mvt", "atax"}) {
+        dfg::Dfg g = polybenchKernel(name);
+        bool has_rec = false;
+        for (const dfg::Edge &e : g.edges())
+            if (e.iterDistance > 0)
+                has_rec = true;
+        EXPECT_TRUE(has_rec) << name;
+    }
+}
+
+TEST(Workloads, StreamingVariantsAreSmallerAndAddressFree)
+{
+    for (const std::string &name : polybenchKernelNames()) {
+        dfg::Dfg cgra = polybenchKernel(name, KernelVariant::Cgra);
+        dfg::Dfg stream = polybenchKernel(name, KernelVariant::Streaming);
+        EXPECT_LT(stream.numNodes(), cgra.numNodes()) << name;
+        // Streaming loads have no address inputs.
+        for (const dfg::Node &n : stream.nodes()) {
+            if (n.op == dfg::OpCode::Load) {
+                EXPECT_TRUE(stream.inEdges(n.id).empty()) << name;
+            }
+        }
+    }
+}
+
+TEST(Workloads, TrmmIsTheOnlySystolicIncompatibleStreamingKernel)
+{
+    arch::SystolicArch s(5, 5);
+    for (const auto &w : streamingSuite()) {
+        bool all_supported = true;
+        for (const dfg::Node &n : w.dfg.nodes())
+            if (!s.supportsOpAnywhere(n.op))
+                all_supported = false;
+        EXPECT_EQ(all_supported, w.name != "trmm") << w.name;
+    }
+}
+
+TEST(Workloads, UnrolledSuiteDoublesNodes)
+{
+    auto unrolled = unrolledSuite(2);
+    ASSERT_EQ(unrolled.size(), 8u);
+    for (const auto &w : unrolled) {
+        EXPECT_NE(w.name.find("_u2"), std::string::npos);
+        std::string base = w.name.substr(0, w.name.find("_u2"));
+        dfg::Dfg orig = polybenchKernel(base);
+        EXPECT_EQ(w.dfg.numNodes(), 2 * orig.numNodes());
+        EXPECT_TRUE(w.dfg.validate());
+    }
+}
+
+TEST(Workloads, WorkloadByNameHandlesUnrolled)
+{
+    auto w = workloadByName("gemm_u2");
+    EXPECT_EQ(w.name, "gemm_u2");
+    EXPECT_EQ(w.dfg.numNodes(), 2 * polybenchKernel("gemm").numNodes());
+    auto plain = workloadByName("syrk");
+    EXPECT_EQ(plain.dfg.numNodes(), polybenchKernel("syrk").numNodes());
+}
+
+TEST(Workloads, UnknownKernelDies)
+{
+    EXPECT_EXIT(polybenchKernel("nonexistent"),
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(Workloads, AnalysisSucceedsOnAllVariants)
+{
+    for (const std::string &name : polybenchKernelNames()) {
+        for (auto variant :
+             {KernelVariant::Cgra, KernelVariant::Streaming}) {
+            dfg::Dfg g = polybenchKernel(name, variant);
+            dfg::Analysis an(g);
+            EXPECT_GE(an.criticalPathLength(), 2);
+            EXPECT_GE(an.recMii(), 1);
+        }
+    }
+}
+
+} // namespace
