@@ -17,8 +17,9 @@
 #include "support/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    lisabench::initBench(argc, argv);
     using namespace lisabench;
     arch::CgraArch accel(arch::baselineCgra(4, 4));
     core::LisaFramework &fw = frameworkFor(accel);
@@ -30,6 +31,7 @@ main()
         map::SearchOptions opts;
         opts.perIiBudget = budgets.lisaPerIi;
         opts.totalBudget = budgets.lisaTotal;
+        opts.threads = benchThreads();
         return map::searchMinIi(mapper, w.dfg, accel, opts);
     };
     auto cell = [](const map::SearchResult &r) {

@@ -27,6 +27,7 @@ runOne(const arch::Accelerator &accel, const std::string &title)
         map::SearchOptions sopts;
         sopts.perIiBudget = opts.saPerIi;
         sopts.totalBudget = opts.saTotal;
+        sopts.threads = benchThreads();
 
         map::SaMapper sa;
         auto r_sa = map::searchMinIi(sa, w.dfg, accel, sopts);
@@ -39,6 +40,7 @@ runOne(const arch::Accelerator &accel, const std::string &title)
         map::SearchOptions lopts;
         lopts.perIiBudget = opts.lisaPerIi;
         lopts.totalBudget = opts.lisaTotal;
+        lopts.threads = benchThreads();
         auto r_lisa = fw.compile(w.dfg, lopts);
 
         auto cell = [](const map::SearchResult &r) {
@@ -56,8 +58,9 @@ runOne(const arch::Accelerator &accel, const std::string &title)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    lisabench::initBench(argc, argv);
     arch::CgraArch baseline(arch::baselineCgra(4, 4));
     runOne(baseline, "Fig 12a: 4x4 baseline CGRA");
     arch::CgraArch less(arch::lessRoutingCgra());

@@ -12,8 +12,9 @@
 #include "support/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    lisabench::initBench(argc, argv);
     using namespace lisabench;
     arch::CgraArch accel(arch::baselineCgra(4, 4));
     core::LisaFramework &fw = frameworkFor(accel);
@@ -30,6 +31,7 @@ main()
         map::SearchOptions sopts;
         sopts.perIiBudget = opts.saPerIi;
         sopts.totalBudget = opts.saTotal;
+        sopts.threads = benchThreads();
 
         map::SaMapper sa;
         auto r_sa = map::searchMinIi(sa, w.dfg, accel, sopts);
@@ -42,6 +44,7 @@ main()
         map::SearchOptions lopts;
         lopts.perIiBudget = opts.lisaPerIi;
         lopts.totalBudget = opts.lisaTotal;
+        lopts.threads = benchThreads();
         auto r_lisa = fw.compile(w.dfg, lopts);
 
         auto cell = [](const map::SearchResult &r) {

@@ -8,8 +8,9 @@
 #include "harness.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    lisabench::initBench(argc, argv);
     using namespace lisabench;
     arch::CgraArch accel(arch::lessRoutingCgra());
     auto results = compareMappers(accel, workloads::polybenchSuite(),

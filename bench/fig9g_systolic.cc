@@ -10,8 +10,9 @@
 #include "harness.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    lisabench::initBench(argc, argv);
     using namespace lisabench;
     arch::SystolicArch accel(5, 5);
     CompareOptions opts;

@@ -9,7 +9,9 @@
 #include "mappers/exact_mapper.hh"
 #include "mappers/sa_mapper.hh"
 #include "power/power_model.hh"
+#include "support/stopwatch.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 
 namespace lisabench {
 
@@ -39,6 +41,31 @@ iiCell(const map::SearchResult &r)
 
 } // namespace
 
+void
+initBench(int argc, char **argv)
+{
+    int threads = ThreadPool::globalThreads(); // LISA_THREADS or 1
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+            threads = std::max(1, std::atoi(argv[++i]));
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            threads = std::max(1, std::atoi(arg.c_str() + 10));
+        } else {
+            std::cerr << "[bench] ignoring unknown argument '" << arg
+                      << "' (supported: --threads N)\n";
+        }
+    }
+    ThreadPool::setGlobalThreads(threads);
+    std::cerr << "[bench] threads=" << threads << "\n";
+}
+
+int
+benchThreads()
+{
+    return ThreadPool::globalThreads();
+}
+
 CompareOptions
 scaled(CompareOptions options)
 {
@@ -65,6 +92,7 @@ frameworkFor(const arch::Accelerator &accel)
         cfg.trainingData.refinements = 4;
         cfg.trainingData.perIiBudget = 0.25;
         cfg.trainingData.totalBudget = 1.2;
+        cfg.trainingData.threads = benchThreads();
         cfg.training.epochs = fastMode() ? 40 : 120;
         cfg.cacheDir = "lisa_models";
         auto fw = std::make_unique<core::LisaFramework>(accel, cfg);
@@ -83,6 +111,10 @@ compareMappers(const arch::Accelerator &accel,
 {
     core::LisaFramework &fw = frameworkFor(accel);
     const int runs = saRuns();
+    const int threads = benchThreads();
+
+    Stopwatch wall;
+    long total_attempts = 0;
 
     std::vector<CompareResult> out;
     for (const auto &w : suite) {
@@ -107,8 +139,11 @@ compareMappers(const arch::Accelerator &accel,
                 opts.perIiBudget = options.saPerIi;
                 opts.totalBudget = options.saTotal;
                 opts.seed = options.seed + static_cast<uint64_t>(r) * 977;
+                opts.threads = threads;
                 attempts.push_back(map::searchMinIi(sa, w.dfg, accel, opts));
             }
+            for (const auto &a : attempts)
+                total_attempts += a.attempts;
             std::sort(attempts.begin(), attempts.end(),
                       [](const map::SearchResult &a,
                          const map::SearchResult &b) {
@@ -124,7 +159,9 @@ compareMappers(const arch::Accelerator &accel,
             opts.perIiBudget = options.lisaPerIi;
             opts.totalBudget = options.lisaTotal;
             opts.seed = options.seed;
+            opts.threads = threads;
             row.lisa = fw.compile(w.dfg, opts);
+            total_attempts += row.lisa.attempts;
         }
 
         std::cerr << "[bench] " << accel.name() << " " << w.name
@@ -132,6 +169,13 @@ compareMappers(const arch::Accelerator &accel,
                   << " LISA=" << iiCell(row.lisa) << "\n";
         out.push_back(std::move(row));
     }
+
+    const double secs = wall.seconds();
+    std::cerr << "[bench] " << accel.name() << " suite: wall-clock "
+              << fmtDouble(secs) << " s, threads=" << threads << ", "
+              << total_attempts << " annealing attempts ("
+              << fmtDouble(secs > 0 ? total_attempts / secs : 0.0)
+              << " attempts/s)\n";
     return out;
 }
 

@@ -9,6 +9,13 @@
  *  - LISA_BENCH_FAST=1  : quarter budgets (smoke-testing the harness)
  *  - LISA_SA_RUNS=n     : SA runs per combination (median reported;
  *                         default 1, the paper uses 3)
+ *  - LISA_THREADS=n     : default parallelism when --threads is absent
+ *
+ * Command-line flags (parse with initBench at the top of main):
+ *  - --threads N : concurrent seed streams per II attempt; also sizes
+ *                  the process-wide worker pool used by training-data
+ *                  generation. Seed-splitting keeps a given
+ *                  (seed, threads) pair reproducible.
  */
 
 #ifndef LISA_BENCH_HARNESS_HH
@@ -44,6 +51,15 @@ struct CompareOptions
 
 /** Apply LISA_BENCH_FAST scaling. */
 CompareOptions scaled(CompareOptions options);
+
+/**
+ * Parse common bench flags (--threads N) and configure the global
+ * thread pool. Call first thing in every figure binary's main().
+ */
+void initBench(int argc, char **argv);
+
+/** Parallelism configured by initBench (or LISA_THREADS; default 1). */
+int benchThreads();
 
 /** One kernel's outcome across the mappers. */
 struct CompareResult

@@ -15,8 +15,9 @@
 #include "support/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    lisabench::initBench(argc, argv);
     using namespace lisabench;
 
     std::vector<std::unique_ptr<arch::Accelerator>> accels;

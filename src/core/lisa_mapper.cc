@@ -198,11 +198,8 @@ LisaMapper::routeByPriority(map::Mapping &mapping) const
 }
 
 std::optional<map::Mapping>
-LisaMapper::tryMap(const map::MapContext &ctx)
+LisaMapper::attemptStream(const map::MapContext &ctx)
 {
-    if (!lbls.matches(ctx.dfg, ctx.analysis))
-        panic("LisaMapper: labels do not match the DFG");
-
     Stopwatch timer;
     map::Mapping mapping(ctx.dfg, ctx.mrrg);
 
@@ -213,6 +210,7 @@ LisaMapper::tryMap(const map::MapContext &ctx)
     // Initial mapping: place everything in schedule-order, then route by
     // label-4 priority (Algorithm 1 with all nodes unmapped).
     auto initial_mapping = [&]() -> bool {
+        ctx.countAttempt();
         mapping.clear();
         std::vector<dfg::NodeId> order;
         for (size_t v = 0; v < ctx.dfg.numNodes(); ++v)
@@ -234,17 +232,15 @@ LisaMapper::tryMap(const map::MapContext &ctx)
         return std::nullopt;
     if (mapping.valid())
         return mapping;
-    double cost = mappingCost(mapping, cfg.costParams);
     long since_improvement = 0;
 
-    while (timer.seconds() < ctx.timeBudget) {
+    while (timer.seconds() < ctx.timeBudget && !ctx.cancelled()) {
         // Periodic restart when the movement loop stops making progress.
         if (since_improvement > 400) {
             if (!initial_mapping())
                 return std::nullopt;
             if (mapping.valid())
                 return mapping;
-            cost = mappingCost(mapping, cfg.costParams);
             since_improvement = 0;
             attempts = 0;
             accepted = 0;
@@ -261,19 +257,12 @@ LisaMapper::tryMap(const map::MapContext &ctx)
             v = static_cast<dfg::NodeId>(ctx.rng.index(ctx.dfg.numNodes()));
         }
 
-        // Snapshot for revert.
-        const map::Placement old = mapping.placement(v);
-        std::vector<dfg::EdgeId> affected;
-        for (dfg::EdgeId e : ctx.dfg.inEdges(v))
-            affected.push_back(e);
-        for (dfg::EdgeId e : ctx.dfg.outEdges(v))
-            if (ctx.dfg.edge(e).src != ctx.dfg.edge(e).dst)
-                affected.push_back(e);
-        std::vector<std::pair<dfg::EdgeId, std::vector<int>>> saved;
-        for (dfg::EdgeId e : affected)
-            if (mapping.isRouted(e))
-                saved.emplace_back(e, mapping.route(e));
-
+        // One unmap/replace/re-route movement inside a transaction: the
+        // mapping records the deltas, so reject is a rollback and the
+        // Metropolis test reads the incremental cost delta.
+        std::vector<dfg::EdgeId> affected =
+            map::incidentEdges(ctx.dfg, v);
+        mapping.beginTransaction();
         for (dfg::EdgeId e : affected)
             mapping.clearRoute(e);
         mapping.unplaceNode(v);
@@ -299,31 +288,26 @@ LisaMapper::tryMap(const map::MapContext &ctx)
                 mapping.setRoute(e, std::move(res->path));
         }
 
-        if (mapping.valid())
+        if (mapping.valid()) {
+            mapping.commitTransaction();
             return mapping;
+        }
 
-        const double new_cost = mappingCost(mapping, cfg.costParams);
+        const double delta = map::mappingCostDelta(mapping, cfg.costParams);
         ++attempts;
         const bool accept =
-            new_cost <= cost ||
-            ctx.rng.uniform() < std::exp((cost - new_cost) / temp);
+            delta <= 0 || ctx.rng.uniform() < std::exp(-delta / temp);
         if (accept) {
-            if (new_cost < cost) {
+            mapping.commitTransaction();
+            if (delta < 0) {
                 ++accepted;
                 since_improvement = 0;
             } else {
                 ++since_improvement;
             }
-            cost = new_cost;
         } else {
             ++since_improvement;
-            // Revert the movement.
-            for (dfg::EdgeId e : affected)
-                mapping.clearRoute(e);
-            mapping.unplaceNode(v);
-            mapping.placeNode(v, old.pe, old.time);
-            for (auto &[e, path] : saved)
-                mapping.setRoute(e, path);
+            mapping.rollbackTransaction();
         }
 
         temp *= cfg.coolRate;
@@ -331,6 +315,16 @@ LisaMapper::tryMap(const map::MapContext &ctx)
             temp = cfg.minTemp;
     }
     return std::nullopt;
+}
+
+std::optional<map::Mapping>
+LisaMapper::tryMap(const map::MapContext &ctx)
+{
+    if (!lbls.matches(ctx.dfg, ctx.analysis))
+        panic("LisaMapper: labels do not match the DFG");
+    return map::runAttemptPortfolio(
+        ctx,
+        [this](const map::MapContext &sub) { return attemptStream(sub); });
 }
 
 } // namespace lisa::core

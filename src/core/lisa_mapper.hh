@@ -65,6 +65,9 @@ class LisaMapper : public map::Mapper
     const Labels &labels() const { return lbls; }
 
   private:
+    /** One attempt stream (serial Algorithm 1 under a budget/cancel). */
+    std::optional<map::Mapping> attemptStream(const map::MapContext &ctx);
+
     /** Nodes to unmap this iteration: conflict-involved plus random. */
     std::vector<dfg::NodeId> selectUnmapSet(const map::Mapping &mapping,
                                             Rng &rng) const;

@@ -7,6 +7,7 @@
 #include "core/lisa_mapper.hh"
 #include "mapping/ii_search.hh"
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 
 namespace lisa::core {
 
@@ -34,30 +35,56 @@ refineLabels(const dfg::Dfg &dfg, const arch::Accelerator &accel,
     int best_routing = std::numeric_limits<int>::max();
     int mii = 1;
 
-    for (int round = 0; round < config.refinements; ++round) {
-        LisaConfig mapper_cfg;
-        mapper_cfg.labelsOnlyForInit = true;
-        LisaMapper mapper(current, mapper_cfg);
+    // Refinement rounds run in waves of up to `threads` concurrent
+    // attempts. Every attempt in a wave starts from the wave's current
+    // labels with its own seed; the wave's results are then merged in
+    // attempt order, so a given (seed, threads) pair is reproducible.
+    const int wave_width = std::max(1, config.threads);
+    int rounds_left = config.refinements;
+    while (rounds_left > 0) {
+        const int wave = std::min(wave_width, rounds_left);
+        rounds_left -= wave;
 
-        map::SearchOptions opts;
-        opts.perIiBudget = config.perIiBudget;
-        opts.totalBudget = config.totalBudget;
-        opts.seed = rng.raw()();
-        map::SearchResult result = map::searchMinIi(mapper, dfg, accel, opts);
-        mii = std::max(1, result.mii);
-        if (!result.success)
-            continue; // keep previous labels, try again (SA is random)
+        std::vector<uint64_t> seeds(static_cast<size_t>(wave));
+        for (uint64_t &s : seeds)
+            s = rng.raw()();
+        std::vector<std::optional<Candidate>> results(
+            static_cast<size_t>(wave));
+        std::vector<int> miis(static_cast<size_t>(wave), 1);
 
-        Labels extracted = extractLabels(*result.mapping, analysis);
-        const int routing = routingCost(*result.mapping);
-        candidates.push_back(Candidate{extracted, result.ii, routing});
+        ThreadPool::global().parallelFor(
+            static_cast<size_t>(wave), [&](size_t i) {
+                LisaConfig mapper_cfg;
+                mapper_cfg.labelsOnlyForInit = true;
+                LisaMapper mapper(current, mapper_cfg);
 
-        // Only adopt labels that improved the mapping (Section V-B).
-        if (result.ii < best_ii ||
-            (result.ii == best_ii && routing < best_routing)) {
-            best_ii = result.ii;
-            best_routing = routing;
-            current = std::move(extracted);
+                map::SearchOptions opts;
+                opts.perIiBudget = config.perIiBudget;
+                opts.totalBudget = config.totalBudget;
+                opts.seed = seeds[i];
+                map::SearchResult result =
+                    map::searchMinIi(mapper, dfg, accel, opts);
+                miis[i] = std::max(1, result.mii);
+                if (!result.success)
+                    return; // keep previous labels (SA is random)
+                results[i] = Candidate{
+                    extractLabels(*result.mapping, analysis), result.ii,
+                    routingCost(*result.mapping)};
+            });
+
+        for (int i = 0; i < wave; ++i) {
+            mii = std::max(mii, miis[static_cast<size_t>(i)]);
+            auto &res = results[static_cast<size_t>(i)];
+            if (!res)
+                continue;
+            candidates.push_back(*res);
+            // Only adopt labels that improved the mapping (Section V-B).
+            if (res->ii < best_ii ||
+                (res->ii == best_ii && res->routing < best_routing)) {
+                best_ii = res->ii;
+                best_routing = res->routing;
+                current = std::move(res->labels);
+            }
         }
     }
 
@@ -120,17 +147,28 @@ generateTrainingSet(const arch::Accelerator &accel,
     if (gen.computeOps.empty())
         fatal("generateTrainingSet: accelerator supports no compute ops");
 
-    std::vector<gnn::LabeledSample> samples;
-    size_t kept = 0, dropped = 0;
+    // Generate the graphs and per-graph seeds serially so the synthetic
+    // set is identical for every thread count, then fan the expensive
+    // label refinement across the pool. Each graph refines with its own
+    // split Rng; results keep generation order.
+    std::vector<dfg::Dfg> graphs;
+    std::vector<uint64_t> seeds;
+    graphs.reserve(config.numDfgs);
+    seeds.reserve(config.numDfgs);
     for (size_t i = 0; i < config.numDfgs; ++i) {
-        dfg::Dfg graph = dfg::generateRandomDfg(gen, rng);
-        graph.setName("train" + std::to_string(i));
-        auto refined = refineLabels(graph, accel, config, rng);
-        if (!refined || !passesFilter(*refined, config)) {
-            ++dropped;
-            continue;
-        }
-        ++kept;
+        graphs.push_back(dfg::generateRandomDfg(gen, rng));
+        graphs.back().setName("train" + std::to_string(i));
+        seeds.push_back(rng.raw()());
+    }
+
+    std::vector<std::optional<gnn::LabeledSample>> refined_samples(
+        config.numDfgs);
+    ThreadPool::global().parallelFor(config.numDfgs, [&](size_t i) {
+        const dfg::Dfg &graph = graphs[i];
+        Rng sub(seeds[i]);
+        auto refined = refineLabels(graph, accel, config, sub);
+        if (!refined || !passesFilter(*refined, config))
+            return;
         dfg::Analysis analysis(graph);
         gnn::LabeledSample sample;
         sample.attrs = gnn::computeAttributes(graph, analysis);
@@ -138,7 +176,18 @@ generateTrainingSet(const arch::Accelerator &accel,
         sample.association = refined->labels.association;
         sample.spatialDist = refined->labels.spatialDist;
         sample.temporalDist = refined->labels.temporalDist;
-        samples.push_back(std::move(sample));
+        refined_samples[i] = std::move(sample);
+    });
+
+    std::vector<gnn::LabeledSample> samples;
+    size_t kept = 0, dropped = 0;
+    for (auto &s : refined_samples) {
+        if (s) {
+            ++kept;
+            samples.push_back(std::move(*s));
+        } else {
+            ++dropped;
+        }
     }
     inform("training set for ", accel.name(), ": kept ", kept, ", dropped ",
            dropped);

@@ -41,6 +41,10 @@ struct TrainingDataConfig
     /** Filter: keep when mii/bestIi + filterSigma * candidates >= this. */
     double filterSigma = 0.1;
     double filterThreshold = 0.8;
+    /** Parallelism of the pipeline: refinement rounds run in waves of
+     *  this many concurrent attempts, and DFGs are refined concurrently
+     *  across the global thread pool. 1 = fully serial. */
+    int threads = 1;
     dfg::GeneratorConfig generator;
 };
 

@@ -78,7 +78,7 @@ Dfs::place(size_t depth)
 {
     if (depth == order.size())
         return true;
-    if (timer.seconds() > ctx.timeBudget) {
+    if (timer.seconds() > ctx.timeBudget || ctx.cancelled()) {
         timedOut = true;
         return false;
     }

@@ -1,8 +1,10 @@
 #include "mappers/mapper.hh"
 
 #include <algorithm>
+#include <vector>
 
 #include "mappers/placement_util.hh"
+#include "support/thread_pool.hh"
 
 namespace lisa::map {
 
@@ -36,6 +38,68 @@ feasibleWindow(const Mapping &mapping, const dfg::Analysis &analysis,
     w.lo = std::max(w.lo, 0);
     w.hi = std::min(w.hi, mapping.horizon() - 1);
     return w;
+}
+
+std::vector<dfg::EdgeId>
+incidentEdges(const dfg::Dfg &dfg, dfg::NodeId v)
+{
+    std::vector<dfg::EdgeId> out;
+    for (dfg::EdgeId e : dfg.inEdges(v))
+        out.push_back(e);
+    for (dfg::EdgeId e : dfg.outEdges(v)) {
+        // Self-loops appear in both lists; keep one copy.
+        if (dfg.edge(e).src != dfg.edge(e).dst)
+            out.push_back(e);
+    }
+    return out;
+}
+
+void
+sortByRoutingPriority(const Mapping &mapping, std::vector<dfg::EdgeId> &edges)
+{
+    std::stable_sort(edges.begin(), edges.end(),
+                     [&](dfg::EdgeId a, dfg::EdgeId b) {
+                         return mapping.requiredLength(a) >
+                                mapping.requiredLength(b);
+                     });
+}
+
+std::optional<Mapping>
+runAttemptPortfolio(
+    const MapContext &ctx,
+    const std::function<std::optional<Mapping>(const MapContext &)> &attempt)
+{
+    const int streams = std::max(1, ctx.parallelism);
+    if (streams == 1)
+        return attempt(ctx);
+
+    std::atomic<bool> firstSuccess{false};
+    std::vector<std::optional<Mapping>> results(
+        static_cast<size_t>(streams));
+
+    ThreadPool::global().parallelFor(
+        static_cast<size_t>(streams), [&](size_t k) {
+            if (firstSuccess.load(std::memory_order_relaxed) ||
+                ctx.cancelled())
+                return;
+            MapContext sub{ctx.dfg,          ctx.analysis,
+                           ctx.mrrg,         ctx.timeBudget,
+                           ctx.rng.split(k), 1,
+                           ctx.stop,         &firstSuccess,
+                           ctx.attempts};
+            auto m = attempt(sub);
+            if (m) {
+                results[k] = std::move(m);
+                firstSuccess.store(true, std::memory_order_relaxed);
+            }
+        });
+
+    // Lowest stream index wins, so near-simultaneous successes resolve
+    // the same way on every run.
+    for (auto &r : results)
+        if (r)
+            return std::move(r);
+    return std::nullopt;
 }
 
 } // namespace lisa::map

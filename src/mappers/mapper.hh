@@ -8,6 +8,8 @@
 #ifndef LISA_MAPPERS_MAPPER_HH
 #define LISA_MAPPERS_MAPPER_HH
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -19,7 +21,15 @@
 
 namespace lisa::map {
 
-/** Everything one fixed-II mapping attempt needs. */
+/**
+ * Everything one fixed-II mapping attempt needs.
+ *
+ * The context *owns* its Rng by value: concurrent attempt streams each
+ * carry an independent deterministic stream (Rng::split), so nothing in
+ * the stack shares generator state across threads. The struct is mutable
+ * through a const reference only via that rng — mappers conventionally
+ * take `const MapContext &` and draw from it.
+ */
 struct MapContext
 {
     const dfg::Dfg &dfg;
@@ -27,7 +37,31 @@ struct MapContext
     std::shared_ptr<const arch::Mrrg> mrrg;
     /** Wall-clock budget for this attempt, seconds. */
     double timeBudget = 3.0;
-    Rng &rng;
+    /** Per-attempt RNG stream (value, not a shared reference). */
+    mutable Rng rng{1};
+    /** Concurrent attempt streams tryMap may run (1 = serial). */
+    int parallelism = 1;
+    /** Optional external cancellation flag, checked beside the budget. */
+    std::atomic<bool> *stop = nullptr;
+    /** First-success flag of the enclosing attempt portfolio. */
+    std::atomic<bool> *portfolioStop = nullptr;
+    /** Optional counter of annealing attempts (restarts), for rates. */
+    std::atomic<long> *attempts = nullptr;
+
+    bool
+    cancelled() const
+    {
+        return (stop && stop->load(std::memory_order_relaxed)) ||
+               (portfolioStop &&
+                portfolioStop->load(std::memory_order_relaxed));
+    }
+
+    void
+    countAttempt() const
+    {
+        if (attempts)
+            attempts->fetch_add(1, std::memory_order_relaxed);
+    }
 };
 
 /** Abstract mapping algorithm. */
@@ -45,6 +79,20 @@ class Mapper
      */
     virtual std::optional<Mapping> tryMap(const MapContext &ctx) = 0;
 };
+
+/**
+ * Run up to ctx.parallelism concurrent copies of @p attempt over the
+ * global thread pool, each with an independent split of ctx.rng and the
+ * full remaining time budget. The first success raises a shared stop flag
+ * (chained with ctx.stop) so the other streams abort at their next
+ * budget check; among streams that had already succeeded, the
+ * lowest-index one wins, keeping results stable when successes race.
+ * With parallelism <= 1 this is a plain inline call.
+ */
+std::optional<Mapping> runAttemptPortfolio(
+    const MapContext &ctx,
+    const std::function<std::optional<Mapping>(const MapContext &)>
+        &attempt);
 
 } // namespace lisa::map
 

@@ -33,6 +33,19 @@ struct TimeWindow
 TimeWindow feasibleWindow(const Mapping &mapping,
                           const dfg::Analysis &analysis, dfg::NodeId v);
 
+/**
+ * All edges incident to @p v (in-edges plus out-edges), with self-loops
+ * kept once. This is the rip-up set of a relocate-one-node move.
+ */
+std::vector<dfg::EdgeId> incidentEdges(const dfg::Dfg &dfg, dfg::NodeId v);
+
+/**
+ * Stable-sort edges longest-required-route first (the Fig 12 routing
+ * priority). All endpoints must be placed.
+ */
+void sortByRoutingPriority(const Mapping &mapping,
+                           std::vector<dfg::EdgeId> &edges);
+
 } // namespace lisa::map
 
 #endif // LISA_MAPPERS_PLACEMENT_UTIL_HH

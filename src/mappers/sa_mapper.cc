@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "mappers/placement_util.hh"
 #include "support/logging.hh"
@@ -20,37 +21,6 @@ SaMapper::name() const
         return "SA+prio";
     return "SA";
 }
-
-namespace {
-
-/** Incident edges of @p v whose other endpoint is placed. */
-std::vector<dfg::EdgeId>
-incidentEdges(const Mapping &mapping, dfg::NodeId v)
-{
-    const auto &dfg = mapping.dfg();
-    std::vector<dfg::EdgeId> out;
-    for (dfg::EdgeId e : dfg.inEdges(v))
-        out.push_back(e);
-    for (dfg::EdgeId e : dfg.outEdges(v)) {
-        // Self-loops appear in both lists; keep one copy.
-        if (dfg.edge(e).src != dfg.edge(e).dst)
-            out.push_back(e);
-    }
-    return out;
-}
-
-/** Sort edges longest-required-route first (the Fig 12 priority). */
-void
-sortByRoutingPriority(const Mapping &mapping, std::vector<dfg::EdgeId> &edges)
-{
-    std::stable_sort(edges.begin(), edges.end(),
-                     [&](dfg::EdgeId a, dfg::EdgeId b) {
-                         return mapping.requiredLength(a) >
-                                mapping.requiredLength(b);
-                     });
-}
-
-} // namespace
 
 void
 SaMapper::randomInit(const MapContext &ctx, Mapping &mapping)
@@ -81,11 +51,8 @@ SaMapper::randomInit(const MapContext &ctx, Mapping &mapping)
 void
 SaMapper::routeInOrder(Mapping &mapping)
 {
-    std::vector<dfg::EdgeId> order;
-    for (dfg::EdgeId e = 0;
-         e < static_cast<dfg::EdgeId>(mapping.dfg().numEdges()); ++e) {
-        order.push_back(e);
-    }
+    std::vector<dfg::EdgeId> order(mapping.dfg().numEdges());
+    std::iota(order.begin(), order.end(), dfg::EdgeId{0});
     if (cfg.routingPriority && mapping.mrrg().accel().temporalMapping() &&
         mapping.numPlaced() == mapping.dfg().numNodes()) {
         sortByRoutingPriority(mapping, order);
@@ -94,7 +61,7 @@ SaMapper::routeInOrder(Mapping &mapping)
 }
 
 bool
-SaMapper::annealOnce(const MapContext &ctx, Mapping &mapping)
+SaMapper::annealOnce(const MapContext &ctx, Mapping &mapping, double budget)
 {
     Stopwatch timer;
     const auto &accel = mapping.mrrg().accel();
@@ -106,7 +73,6 @@ SaMapper::annealOnce(const MapContext &ctx, Mapping &mapping)
     if (mapping.valid())
         return true;
 
-    double cost = mappingCost(mapping, cfg.costParams);
     double temp = cfg.initialTemp;
     int stalled = 0;
     const int moves = cfg.movesPerTemp * cfg.movementMultiplier;
@@ -115,7 +81,8 @@ SaMapper::annealOnce(const MapContext &ctx, Mapping &mapping)
     while (temp > cfg.minTemp) {
         int accepted = 0;
         for (int m = 0; m < moves; ++m) {
-            if ((m & 15) == 0 && timer.seconds() > ctx.timeBudget)
+            if ((m & 15) == 0 &&
+                (ctx.cancelled() || timer.seconds() > budget))
                 return mapping.valid();
 
             dfg::NodeId v = static_cast<dfg::NodeId>(ctx.rng.index(num_nodes));
@@ -123,59 +90,57 @@ SaMapper::annealOnce(const MapContext &ctx, Mapping &mapping)
             if (capable.empty())
                 continue;
 
-            // Snapshot for undo.
-            const Placement old = mapping.placement(v);
-            auto affected = incidentEdges(mapping, v);
-            std::vector<std::pair<dfg::EdgeId, std::vector<int>>> saved;
-            for (dfg::EdgeId e : affected)
-                if (mapping.isRouted(e))
-                    saved.emplace_back(e, mapping.route(e));
+            const int old_time = mapping.placement(v).time;
+            auto affected = incidentEdges(ctx.dfg, v);
 
-            // Apply: relocate and re-route incident edges.
+            // Speculative move: the transaction records every placement
+            // and route delta, so reject is a rollback instead of a
+            // hand-rolled snapshot/undo, and the accept test reads the
+            // incremental cost delta instead of recomputing from scratch.
+            mapping.beginTransaction();
             for (dfg::EdgeId e : affected)
                 mapping.clearRoute(e);
             mapping.unplaceNode(v);
 
             int pe = ctx.rng.pick(capable);
-            int time = old.time;
+            int time = old_time;
             if (accel.temporalMapping()) {
                 TimeWindow w = feasibleWindow(mapping, ctx.analysis, v);
                 if (w.valid() && ctx.rng.chance(0.7)) {
                     int hi = std::min(w.hi, w.lo + ii + 2);
                     time = ctx.rng.uniformInt(w.lo, hi);
                 } else {
-                    time = std::clamp(old.time + ctx.rng.uniformInt(-2, 2),
+                    time = std::clamp(old_time + ctx.rng.uniformInt(-2, 2),
                                       0, mapping.horizon() - 1);
                 }
             }
             mapping.placeNode(v, pe, time);
 
-            auto order = affected;
-            if (cfg.routingPriority && accel.temporalMapping())
+            auto route = [&](const std::vector<dfg::EdgeId> &order) {
+                for (dfg::EdgeId e : order) {
+                    auto res = routeEdge(mapping, e, cfg.routerCosts);
+                    if (res)
+                        mapping.setRoute(e, std::move(res->path));
+                }
+            };
+            if (cfg.routingPriority && accel.temporalMapping()) {
+                auto order = affected;
                 sortByRoutingPriority(mapping, order);
-            for (dfg::EdgeId e : order) {
-                auto res = routeEdge(mapping, e, cfg.routerCosts);
-                if (res)
-                    mapping.setRoute(e, std::move(res->path));
+                route(order);
+            } else {
+                route(affected); // no priority: no copy, no sort
             }
 
-            double new_cost = mappingCost(mapping, cfg.costParams);
-            bool accept = new_cost <= cost ||
-                          ctx.rng.uniform() <
-                              std::exp((cost - new_cost) / temp);
+            double delta = mappingCostDelta(mapping, cfg.costParams);
+            bool accept = delta <= 0 ||
+                          ctx.rng.uniform() < std::exp(-delta / temp);
             if (accept) {
-                cost = new_cost;
+                mapping.commitTransaction();
                 ++accepted;
                 if (mapping.valid())
                     return true;
             } else {
-                // Revert: undo relocation and restore saved routes.
-                for (dfg::EdgeId e : affected)
-                    mapping.clearRoute(e);
-                mapping.unplaceNode(v);
-                mapping.placeNode(v, old.pe, old.time);
-                for (auto &[e, path] : saved)
-                    mapping.setRoute(e, path);
+                mapping.rollbackTransaction();
             }
         }
         stalled = (accepted == 0) ? stalled + 1 : 0;
@@ -187,17 +152,26 @@ SaMapper::annealOnce(const MapContext &ctx, Mapping &mapping)
 }
 
 std::optional<Mapping>
-SaMapper::tryMap(const MapContext &ctx)
+SaMapper::attemptStream(const MapContext &ctx)
 {
     Stopwatch total;
-    while (total.seconds() < ctx.timeBudget) {
+    while (total.seconds() < ctx.timeBudget && !ctx.cancelled()) {
+        ctx.countAttempt();
         Mapping mapping(ctx.dfg, ctx.mrrg);
-        MapContext run{ctx.dfg, ctx.analysis, ctx.mrrg,
-                       ctx.timeBudget - total.seconds(), ctx.rng};
-        if (annealOnce(run, mapping) && mapping.valid())
+        if (annealOnce(ctx, mapping, ctx.timeBudget - total.seconds()) &&
+            mapping.valid()) {
             return mapping;
+        }
     }
     return std::nullopt;
+}
+
+std::optional<Mapping>
+SaMapper::tryMap(const MapContext &ctx)
+{
+    return runAttemptPortfolio(ctx, [this](const MapContext &sub) {
+        return attemptStream(sub);
+    });
 }
 
 } // namespace lisa::map

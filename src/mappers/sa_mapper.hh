@@ -3,9 +3,12 @@
  * Vanilla simulated-annealing mapper in the style of CGRA-ME.
  *
  * Random initial placement, relocate-one-node movements with rip-up and
- * re-route of incident edges, Metropolis acceptance over the mapping cost,
- * geometric cooling with a fixed number of movements per temperature, and
- * random restarts while the time budget lasts.
+ * re-route of incident edges, Metropolis acceptance over the incremental
+ * mapping-cost delta (moves run inside a Mapping transaction; reject is a
+ * rollback), geometric cooling with a fixed number of movements per
+ * temperature, and random restarts while the time budget lasts. With
+ * MapContext::parallelism > 1, tryMap runs that many independent seed
+ * streams concurrently with first-success cancellation.
  *
  * Two paper ablations are configuration flags:
  *  - movementMultiplier = 10 gives SA-M (Fig 13);
@@ -50,8 +53,13 @@ class SaMapper : public Mapper
     std::optional<Mapping> tryMap(const MapContext &ctx) override;
 
   private:
-    /** One annealing run from a fresh random start. */
-    bool annealOnce(const MapContext &ctx, Mapping &mapping);
+    /** One attempt stream: annealing restarts until budget/cancel. */
+    std::optional<Mapping> attemptStream(const MapContext &ctx);
+
+    /** One annealing run from a fresh random start, within @p budget
+     *  seconds. Moves are transactional: reject rolls the move back and
+     *  accept reads the incremental cost delta. */
+    bool annealOnce(const MapContext &ctx, Mapping &mapping, double budget);
 
     void randomInit(const MapContext &ctx, Mapping &mapping);
     void routeInOrder(Mapping &mapping);

@@ -3,17 +3,31 @@
 namespace lisa::map {
 
 double
-mappingCost(const Mapping &mapping, const CostParams &params)
+snapshotCost(const Mapping &mapping, const CostSnapshot &snap,
+             const CostParams &params)
 {
     const auto &dfg = mapping.dfg();
     const double unplaced =
-        static_cast<double>(dfg.numNodes() - mapping.numPlaced());
+        static_cast<double>(dfg.numNodes() - snap.placed);
     const double unrouted =
-        static_cast<double>(dfg.numEdges() - mapping.numRouted());
-    return params.routeResourceWeight * mapping.totalRouteResources() +
-           params.overuseWeight * mapping.totalOveruse() +
+        static_cast<double>(dfg.numEdges() - snap.routed);
+    return params.routeResourceWeight * snap.routeResources +
+           params.overuseWeight * snap.overuse +
            params.unroutedWeight * unrouted +
            params.unplacedWeight * unplaced;
+}
+
+double
+mappingCost(const Mapping &mapping, const CostParams &params)
+{
+    return snapshotCost(mapping, mapping.costSnapshot(), params);
+}
+
+double
+mappingCostDelta(const Mapping &mapping, const CostParams &params)
+{
+    return snapshotCost(mapping, mapping.costSnapshot(), params) -
+           snapshotCost(mapping, mapping.transactionBase(), params);
 }
 
 } // namespace lisa::map

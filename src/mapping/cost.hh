@@ -20,8 +20,21 @@ struct CostParams
     double unplacedWeight = 400.0;    ///< per unplaced node
 };
 
-/** Total cost; 0-overuse fully-routed mappings have only route cost. */
+/** Total cost; 0-overuse fully-routed mappings have only route cost.
+ *  O(1): computed from the mapping's incremental accumulators. */
 double mappingCost(const Mapping &mapping, const CostParams &params);
+
+/** Cost the mapping would have with the given accumulator values. */
+double snapshotCost(const Mapping &mapping, const CostSnapshot &snap,
+                    const CostParams &params);
+
+/**
+ * cost(now) - cost(at beginTransaction()), in O(1) from the incremental
+ * accumulators. This is what the annealers feed the Metropolis
+ * accept/reject test; a full mappingCost call inside the move loop is
+ * never needed. Requires an active transaction.
+ */
+double mappingCostDelta(const Mapping &mapping, const CostParams &params);
 
 } // namespace lisa::map
 

@@ -62,7 +62,11 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
     SearchResult result;
     Stopwatch total;
     dfg::Analysis analysis(dfg);
-    Rng rng(options.seed);
+    // Each II attempt gets its own split of the seed, so its stream does
+    // not depend on how much entropy earlier II attempts consumed.
+    Rng base(options.seed);
+    const int threads = std::max(1, options.threads);
+    std::atomic<long> attempts{0};
 
     if (!accel.temporalMapping()) {
         // Spatial mapping: single configuration, one attempt.
@@ -73,9 +77,13 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
             return result;
         }
         auto mrrg = std::make_shared<const arch::Mrrg>(accel, 1);
-        MapContext ctx{dfg, analysis, mrrg, options.perIiBudget, rng};
+        MapContext ctx{dfg,           analysis,     mrrg,
+                       options.perIiBudget,         base.split(1),
+                       threads,       options.stop, nullptr,
+                       &attempts};
         auto mapping = mapper.tryMap(ctx);
         result.seconds = total.seconds();
+        result.attempts = attempts.load();
         if (mapping) {
             result.success = true;
             result.ii = 1;
@@ -94,10 +102,22 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
     for (int ii = mii; ii <= accel.maxIi(); ++ii) {
         if (total.seconds() >= options.totalBudget)
             break;
+        if (options.stop &&
+            options.stop->load(std::memory_order_relaxed)) {
+            break;
+        }
         double budget = std::min(options.perIiBudget,
                                  options.totalBudget - total.seconds());
         auto mrrg = std::make_shared<const arch::Mrrg>(accel, ii);
-        MapContext ctx{dfg, analysis, mrrg, budget, rng};
+        MapContext ctx{dfg,
+                       analysis,
+                       mrrg,
+                       budget,
+                       base.split(static_cast<uint64_t>(ii)),
+                       threads,
+                       options.stop,
+                       nullptr,
+                       &attempts};
         auto mapping = mapper.tryMap(ctx);
         if (mapping) {
             result.success = true;
@@ -107,6 +127,7 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
         }
     }
     result.seconds = total.seconds();
+    result.attempts = attempts.load();
     return result;
 }
 

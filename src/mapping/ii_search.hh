@@ -12,6 +12,7 @@
 #ifndef LISA_MAPPING_II_SEARCH_HH
 #define LISA_MAPPING_II_SEARCH_HH
 
+#include <atomic>
 #include <optional>
 
 #include "mappers/mapper.hh"
@@ -25,8 +26,15 @@ struct SearchOptions
     double perIiBudget = 3.0;
     /** Wall-clock budget for the whole sweep, seconds. */
     double totalBudget = 60.0;
-    /** RNG seed for the mapper's stochastic choices. */
+    /** RNG seed for the mapper's stochastic choices. Each II attempt
+     *  gets its own deterministic split of this seed, and each of the
+     *  `threads` concurrent streams splits again, so results for a given
+     *  (seed, threads) pair are reproducible. */
     uint64_t seed = 1;
+    /** Concurrent seed streams per II attempt (1 = serial). */
+    int threads = 1;
+    /** Optional external cancellation flag. */
+    std::atomic<bool> *stop = nullptr;
 };
 
 /** Outcome of one full compilation. */
@@ -39,6 +47,8 @@ struct SearchResult
     int mii = 0;
     /** Total wall-clock compilation time, seconds. */
     double seconds = 0.0;
+    /** Annealing attempts (restart count) summed over all streams. */
+    long attempts = 0;
     /** The valid mapping (present iff success). */
     std::optional<Mapping> mapping;
 };

@@ -44,6 +44,8 @@ Mapping::placeNode(dfg::NodeId v, int pe, int time)
     place[v] = Placement{pe, time};
     ++placedCount;
     addInstance(rrg->fuId(pe, time), instanceKey(v, time));
+    if (txnActive && !txnReplaying)
+        txnLog.push_back(TxnOp{TxnOp::Kind::Place, v, {}, {}});
 }
 
 void
@@ -59,6 +61,8 @@ Mapping::unplaceNode(dfg::NodeId v)
         if (routed[e])
             panic("unplaceNode: node ", v, " still has routed in-edge ", e);
     }
+    if (txnActive && !txnReplaying)
+        txnLog.push_back(TxnOp{TxnOp::Kind::Unplace, v, place[v], {}});
     removeInstance(rrg->fuId(place[v].pe, place[v].time),
                    instanceKey(v, place[v].time));
     place[v] = Placement{};
@@ -82,6 +86,8 @@ Mapping::setRoute(dfg::EdgeId e, std::vector<int> path)
     routes[e] = std::move(path);
     routed[e] = true;
     ++routedCount;
+    if (txnActive && !txnReplaying)
+        txnLog.push_back(TxnOp{TxnOp::Kind::SetRoute, e, {}, {}});
 }
 
 void
@@ -97,6 +103,9 @@ Mapping::clearRoute(dfg::EdgeId e)
             instanceKey(edge.src, src_time + static_cast<int>(i) + 1));
     }
     routeResourceCount -= static_cast<int>(routes[e].size());
+    if (txnActive && !txnReplaying)
+        txnLog.push_back(
+            TxnOp{TxnOp::Kind::ClearRoute, e, {}, std::move(routes[e])});
     routes[e].clear();
     routed[e] = false;
     --routedCount;
@@ -154,8 +163,66 @@ Mapping::valid() const
 }
 
 void
+Mapping::beginTransaction()
+{
+    if (txnActive)
+        panic("beginTransaction: transaction already active");
+    txnActive = true;
+    txnBase = costSnapshot();
+    txnLog.clear();
+}
+
+void
+Mapping::commitTransaction()
+{
+    if (!txnActive)
+        panic("commitTransaction: no active transaction");
+    txnActive = false;
+    txnLog.clear();
+}
+
+void
+Mapping::rollbackTransaction()
+{
+    if (!txnActive)
+        panic("rollbackTransaction: no active transaction");
+    txnReplaying = true;
+    for (auto it = txnLog.rbegin(); it != txnLog.rend(); ++it) {
+        switch (it->kind) {
+          case TxnOp::Kind::Place:
+            unplaceNode(static_cast<dfg::NodeId>(it->id));
+            break;
+          case TxnOp::Kind::Unplace:
+            placeNode(static_cast<dfg::NodeId>(it->id), it->prevPlace.pe,
+                      it->prevPlace.time);
+            break;
+          case TxnOp::Kind::SetRoute:
+            clearRoute(static_cast<dfg::EdgeId>(it->id));
+            break;
+          case TxnOp::Kind::ClearRoute:
+            setRoute(static_cast<dfg::EdgeId>(it->id),
+                     std::move(it->prevPath));
+            break;
+        }
+    }
+    txnReplaying = false;
+    txnActive = false;
+    txnLog.clear();
+}
+
+const CostSnapshot &
+Mapping::transactionBase() const
+{
+    if (!txnActive)
+        panic("transactionBase: no active transaction");
+    return txnBase;
+}
+
+void
 Mapping::clear()
 {
+    if (txnActive)
+        panic("clear: transaction still active");
     for (dfg::EdgeId e = 0; e < static_cast<dfg::EdgeId>(graph->numEdges());
          ++e) {
         clearRoute(e);

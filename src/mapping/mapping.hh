@@ -40,6 +40,19 @@ struct Placement
     bool mapped() const { return pe >= 0; }
 };
 
+/**
+ * Snapshot of the incrementally maintained cost accumulators. Cheap to
+ * copy; taken at transaction begin so accept/reject decisions can compare
+ * against the pre-move state in O(1).
+ */
+struct CostSnapshot
+{
+    size_t placed = 0;
+    size_t routed = 0;
+    int overuse = 0;
+    int routeResources = 0;
+};
+
 /** One candidate mapping of a DFG onto an MRRG. */
 class Mapping
 {
@@ -116,14 +129,56 @@ class Mapping
     /** All placed, all routed, zero overuse. */
     bool valid() const;
 
-    /** Reset to the empty mapping. */
+    /** Reset to the empty mapping (no transaction may be active). */
     void clear();
+
+    /** Current values of the incremental cost accumulators. */
+    CostSnapshot costSnapshot() const
+    {
+        return CostSnapshot{placedCount, routedCount, overuse,
+                            routeResourceCount};
+    }
+
+    /**
+     * @{ Move transactions.
+     *
+     * A transaction brackets one speculative move: every
+     * placeNode/unplaceNode/setRoute/clearRoute between begin and
+     * commit/rollback is recorded as an undo entry.
+     * rollbackTransaction() replays the log in reverse, restoring
+     * placements, routes, occupancy, and all cost accumulators exactly;
+     * commitTransaction() discards the log. Transactions do not nest.
+     */
+    void beginTransaction();
+    void commitTransaction();
+    void rollbackTransaction();
+    bool inTransaction() const { return txnActive; }
+
+    /** Accumulator values at beginTransaction() (active txn only). */
+    const CostSnapshot &transactionBase() const;
+    /** @} */
 
   private:
     struct InstanceRef
     {
         int64_t key;
         int refs;
+    };
+
+    /** One undo entry of the active transaction. */
+    struct TxnOp
+    {
+        enum class Kind : uint8_t
+        {
+            Place,     ///< undo: unplace node `id`
+            Unplace,   ///< undo: re-place node `id` at `prevPlace`
+            SetRoute,  ///< undo: clear route of edge `id`
+            ClearRoute ///< undo: restore `prevPath` on edge `id`
+        };
+        Kind kind;
+        int32_t id;
+        Placement prevPlace{};
+        std::vector<int> prevPath{};
     };
 
     void addInstance(int res, int64_t key);
@@ -143,6 +198,12 @@ class Mapping
     size_t routedCount = 0;
     int overuse = 0;
     int routeResourceCount = 0;
+
+    bool txnActive = false;
+    /** Set while rollback replays the log, suppressing re-logging. */
+    bool txnReplaying = false;
+    CostSnapshot txnBase;
+    std::vector<TxnOp> txnLog;
 };
 
 } // namespace lisa::map

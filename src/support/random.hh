@@ -24,10 +24,31 @@ namespace lisa {
 class Rng
 {
   public:
-    explicit Rng(uint64_t seed = 1) : engine(seed) {}
+    explicit Rng(uint64_t seed = 1) : engine(seed), seedValue(seed) {}
 
     /** Reseed the generator. */
-    void seed(uint64_t s) { engine.seed(s); }
+    void
+    seed(uint64_t s)
+    {
+        engine.seed(s);
+        seedValue = s;
+    }
+
+    /**
+     * Derive an independent deterministic stream from this generator's
+     * seed and @p stream_id (splitmix64 mixing). Splitting depends only on
+     * the seed, never on how many values have been drawn, so concurrent
+     * workers can split up-front and draw without synchronizing. The same
+     * (seed, stream_id) pair always yields the same stream.
+     */
+    Rng
+    split(uint64_t stream_id) const
+    {
+        uint64_t z = seedValue + 0x9e3779b97f4a7c15ULL * (stream_id + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return Rng(z ^ (z >> 31));
+    }
 
     /** Uniform integer in [lo, hi] (inclusive). */
     int
@@ -85,6 +106,8 @@ class Rng
 
   private:
     std::mt19937_64 engine;
+    /** Seed this generator (or its parent at split time) started from. */
+    uint64_t seedValue;
 };
 
 } // namespace lisa

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fixed-size worker pool used by the parallel mapper stack.
+ *
+ * A pool of N worker threads drains one shared task queue. Two entry
+ * points:
+ *  - submit(fn): enqueue a task, get a std::future for its result;
+ *  - parallelFor(n, body): run body(0..n-1) across the pool and block
+ *    until every index finished. The calling thread participates in its
+ *    own batch, so nested parallelFor calls from inside a worker task can
+ *    never deadlock (the nested caller drains its own indices itself when
+ *    all workers are busy).
+ *
+ * A pool constructed with zero workers degrades to strictly serial inline
+ * execution, which is the deterministic `--threads 1` baseline. The
+ * process-wide pool (`ThreadPool::global()`) is sized by
+ * setGlobalThreads(T) as T-1 workers plus the participating caller; T
+ * defaults to the LISA_THREADS environment variable or 1.
+ *
+ * Task bodies must not throw: submit() transports exceptions through the
+ * future, but parallelFor bodies run on arbitrary threads where an escape
+ * would terminate the process.
+ */
+
+#ifndef LISA_SUPPORT_THREAD_POOL_HH
+#define LISA_SUPPORT_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace lisa {
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p workers threads (0 = run everything inline). */
+    explicit ThreadPool(size_t workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (excluding participating callers). */
+    size_t size() const { return workers.size(); }
+
+    /** Enqueue one task; the future carries its result (or exception). */
+    template <typename F>
+    auto
+    submit(F fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::move(fn));
+        std::future<R> out = task->get_future();
+        auto wrapped = [task]() { (*task)(); };
+        if (workers.empty()) {
+            wrapped(); // no workers: run inline, future already ready
+            return out;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            tasks.emplace_back(std::move(wrapped));
+        }
+        taskReady.notify_one();
+        return out;
+    }
+
+    /**
+     * Run body(i) for every i in [0, n). Blocks until all indices are
+     * done; the caller executes indices alongside the workers.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &body);
+
+    /**
+     * The process-wide pool, created on first use with the configured
+     * thread count minus one (the caller is the extra worker).
+     */
+    static ThreadPool &global();
+
+    /**
+     * Configure the global parallelism degree T (clamped to >= 1);
+     * recreates the global pool if it already exists with another size.
+     * Call at startup, never while parallel work is in flight.
+     */
+    static void setGlobalThreads(int threads);
+
+    /** The configured global parallelism degree. */
+    static int globalThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> tasks;
+    std::mutex mutex;
+    std::condition_variable taskReady;
+    bool stopping = false;
+};
+
+} // namespace lisa
+
+#endif // LISA_SUPPORT_THREAD_POOL_HH

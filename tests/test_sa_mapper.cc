@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "arch/cgra.hh"
 #include "dfg/builder.hh"
 #include "mappers/placement_util.hh"
 #include "mappers/sa_mapper.hh"
+#include "mapping/ii_search.hh"
+#include "support/thread_pool.hh"
 #include "workloads/registry.hh"
 
 namespace {
@@ -116,6 +120,65 @@ TEST(SaMapper, DeterministicGivenSeed)
         EXPECT_EQ(m1->placement(static_cast<dfg::NodeId>(v)).time,
                   m2->placement(static_cast<dfg::NodeId>(v)).time);
     }
+}
+
+TEST(SaMapperParallel, SameSeedAndThreadsReproducesSearchResult)
+{
+    // (seed, threads) pins the per-stream RNGs via Rng::split, so two runs
+    // of the portfolio search must land on the same outcome and II.
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto w = workloads::workloadByName("gemm");
+    ThreadPool::setGlobalThreads(2);
+    SaMapper sa;
+    SearchOptions opts;
+    opts.perIiBudget = 2.0;
+    opts.totalBudget = 8.0;
+    opts.seed = 9;
+    opts.threads = 2;
+    auto r1 = searchMinIi(sa, w.dfg, c, opts);
+    auto r2 = searchMinIi(sa, w.dfg, c, opts);
+    EXPECT_EQ(r1.success, r2.success);
+    if (r1.success && r2.success) {
+        EXPECT_EQ(r1.ii, r2.ii);
+    }
+    EXPECT_GT(r1.attempts, 0);
+    ThreadPool::setGlobalThreads(1);
+}
+
+TEST(SaMapperParallel, AnyThreadCountYieldsValidMappings)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto w = workloads::workloadByName("gemm");
+    SaMapper sa;
+    for (int threads : {1, 3}) {
+        ThreadPool::setGlobalThreads(threads);
+        SearchOptions opts;
+        opts.perIiBudget = 2.0;
+        opts.totalBudget = 8.0;
+        opts.seed = 5;
+        opts.threads = threads;
+        auto r = searchMinIi(sa, w.dfg, c, opts);
+        ASSERT_TRUE(r.success) << "threads=" << threads;
+        ASSERT_TRUE(r.mapping.has_value());
+        EXPECT_TRUE(r.mapping->valid()) << "threads=" << threads;
+    }
+    ThreadPool::setGlobalThreads(1);
+}
+
+TEST(SaMapperParallel, ExternalStopAbortsSearch)
+{
+    // A pre-set stop flag must make the search return failure promptly.
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto w = workloads::workloadByName("gemm");
+    SaMapper sa;
+    std::atomic<bool> stop{true};
+    SearchOptions opts;
+    opts.perIiBudget = 5.0;
+    opts.totalBudget = 20.0;
+    opts.threads = 2;
+    opts.stop = &stop;
+    auto r = searchMinIi(sa, w.dfg, c, opts);
+    EXPECT_FALSE(r.success);
 }
 
 TEST(FeasibleWindow, TracksPlacedNeighbours)
