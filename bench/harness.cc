@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 
 #include "core/lisa_mapper.hh"
 #include "mappers/exact_mapper.hh"
@@ -37,6 +39,52 @@ std::string
 iiCell(const map::SearchResult &r)
 {
     return std::to_string(r.success ? r.ii : 0);
+}
+
+bool
+metricsToStderr()
+{
+    const char *v = std::getenv("LISA_METRICS");
+    return v && *v && std::string(v) != "0";
+}
+
+const char *
+metricsOutPath()
+{
+    const char *v = std::getenv("LISA_METRICS_OUT");
+    return (v && *v) ? v : nullptr;
+}
+
+bool
+metricsEnabled()
+{
+    return metricsToStderr() || metricsOutPath() != nullptr;
+}
+
+/** Write one JSON object to the metrics sinks (stderr and/or JSONL file). */
+void
+emitMetricsLine(const std::string &line)
+{
+    if (metricsToStderr())
+        std::cerr << line << "\n";
+    if (const char *path = metricsOutPath()) {
+        std::ofstream f(path, std::ios::app);
+        f << line << "\n";
+    }
+}
+
+std::string
+searchResultJson(const std::string &accel, const std::string &kernel,
+                 const char *mapper, const map::SearchResult &r)
+{
+    std::ostringstream os;
+    os << "{\"event\":\"kernel\",\"accel\":\"" << accel << "\",\"kernel\":\""
+       << kernel << "\",\"mapper\":\"" << mapper
+       << "\",\"success\":" << (r.success ? "true" : "false")
+       << ",\"ii\":" << r.ii << ",\"mii\":" << r.mii
+       << ",\"seconds\":" << r.seconds << ",\"attempts\":" << r.attempts
+       << ",\"stats\":" << r.stats.toJson() << "}";
+    return os.str();
 }
 
 } // namespace
@@ -115,6 +163,7 @@ compareMappers(const arch::Accelerator &accel,
 
     Stopwatch wall;
     long total_attempts = 0;
+    map::MapperStats suite_stats;
 
     std::vector<CompareResult> out;
     for (const auto &w : suite) {
@@ -128,6 +177,7 @@ compareMappers(const arch::Accelerator &accel,
             opts.totalBudget = options.ilpTotal;
             opts.seed = options.seed;
             row.ilp = map::searchMinIi(ilp, w.dfg, accel, opts);
+            suite_stats.merge(row.ilp.stats);
         }
 
         if (options.runSa) {
@@ -142,8 +192,10 @@ compareMappers(const arch::Accelerator &accel,
                 opts.threads = threads;
                 attempts.push_back(map::searchMinIi(sa, w.dfg, accel, opts));
             }
-            for (const auto &a : attempts)
+            for (const auto &a : attempts) {
                 total_attempts += a.attempts;
+                suite_stats.merge(a.stats);
+            }
             std::sort(attempts.begin(), attempts.end(),
                       [](const map::SearchResult &a,
                          const map::SearchResult &b) {
@@ -162,20 +214,45 @@ compareMappers(const arch::Accelerator &accel,
             opts.threads = threads;
             row.lisa = fw.compile(w.dfg, opts);
             total_attempts += row.lisa.attempts;
+            suite_stats.merge(row.lisa.stats);
         }
 
         std::cerr << "[bench] " << accel.name() << " " << w.name
                   << ": ILP*=" << iiCell(row.ilp) << " SA=" << iiCell(row.sa)
                   << " LISA=" << iiCell(row.lisa) << "\n";
+        if (metricsEnabled()) {
+            if (options.runIlp)
+                emitMetricsLine(searchResultJson(accel.name(), w.name,
+                                                 "ILP*", row.ilp));
+            if (options.runSa)
+                emitMetricsLine(searchResultJson(accel.name(), w.name, "SA",
+                                                 row.sa));
+            emitMetricsLine(searchResultJson(accel.name(), w.name, "LISA",
+                                             row.lisa));
+        }
         out.push_back(std::move(row));
     }
 
     const double secs = wall.seconds();
+    const double attempts_per_sec = secs > 0 ? total_attempts / secs : 0.0;
+    const double route_calls_per_sec =
+        secs > 0 ? suite_stats.router.routeEdgeCalls / secs : 0.0;
     std::cerr << "[bench] " << accel.name() << " suite: wall-clock "
               << fmtDouble(secs) << " s, threads=" << threads << ", "
               << total_attempts << " annealing attempts ("
-              << fmtDouble(secs > 0 ? total_attempts / secs : 0.0)
-              << " attempts/s)\n";
+              << fmtDouble(attempts_per_sec) << " attempts/s, "
+              << fmtDouble(route_calls_per_sec) << " route-calls/s)\n";
+    if (metricsEnabled()) {
+        std::ostringstream os;
+        os << "{\"event\":\"suite\",\"accel\":\"" << accel.name()
+           << "\",\"kernels\":" << suite.size()
+           << ",\"wallSeconds\":" << secs << ",\"threads\":" << threads
+           << ",\"attempts\":" << total_attempts
+           << ",\"attemptsPerSec\":" << attempts_per_sec
+           << ",\"routeCallsPerSec\":" << route_calls_per_sec
+           << ",\"stats\":" << suite_stats.toJson() << "}";
+        emitMetricsLine(os.str());
+    }
     return out;
 }
 

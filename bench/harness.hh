@@ -10,6 +10,11 @@
  *  - LISA_SA_RUNS=n     : SA runs per combination (median reported;
  *                         default 1, the paper uses 3)
  *  - LISA_THREADS=n     : default parallelism when --threads is absent
+ *  - LISA_METRICS=1     : dump per-kernel and per-suite mapper metrics
+ *                         (MapperStats merged over all streams) as
+ *                         one-line JSON objects on stderr
+ *  - LISA_METRICS_OUT=f : append the same JSON lines to file f (JSONL);
+ *                         works with or without LISA_METRICS
  *
  * Command-line flags (parse with initBench at the top of main):
  *  - --threads N : concurrent seed streams per II attempt; also sizes

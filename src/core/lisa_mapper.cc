@@ -179,7 +179,8 @@ LisaMapper::placeNodeByLabels(const map::MapContext &ctx,
 }
 
 void
-LisaMapper::routeByPriority(map::Mapping &mapping) const
+LisaMapper::routeByPriority(map::Mapping &mapping,
+                            map::RouterWorkspace &ws) const
 {
     const auto &dfg = mapping.dfg();
     std::vector<dfg::EdgeId> order;
@@ -194,7 +195,7 @@ LisaMapper::routeByPriority(map::Mapping &mapping) const
                      [&](dfg::EdgeId a, dfg::EdgeId b) {
                          return lbls.temporalDist[a] > lbls.temporalDist[b];
                      });
-    map::routeAll(mapping, cfg.routerCosts, order);
+    map::routeAll(mapping, cfg.routerCosts, ws, order);
 }
 
 std::optional<map::Mapping>
@@ -202,15 +203,29 @@ LisaMapper::attemptStream(const map::MapContext &ctx)
 {
     Stopwatch timer;
     map::Mapping mapping(ctx.dfg, ctx.mrrg);
+    map::RouterWorkspace ws;
+    map::MapperStats stats;
 
     long attempts = 0;
     long accepted = 0;
     double temp = cfg.initialTemp;
 
+    // Merge this stream's counters into the context sink on every exit
+    // path (the movement loop has several).
+    auto finish = [&](std::optional<map::Mapping> result) {
+        stats.router = ws.counters;
+        stats.mapSeconds = timer.seconds();
+        if (ctx.stats)
+            ctx.stats->merge(stats);
+        return result;
+    };
+
     // Initial mapping: place everything in schedule-order, then route by
     // label-4 priority (Algorithm 1 with all nodes unmapped).
     auto initial_mapping = [&]() -> bool {
+        Stopwatch init_timer;
         ctx.countAttempt();
+        ++stats.restarts;
         mapping.clear();
         std::vector<dfg::NodeId> order;
         for (size_t v = 0; v < ctx.dfg.numNodes(); ++v)
@@ -220,27 +235,37 @@ LisaMapper::attemptStream(const map::MapContext &ctx)
                              return lbls.scheduleOrder[a] <
                                     lbls.scheduleOrder[b];
                          });
+        bool ok = true;
         for (dfg::NodeId v : order) {
-            if (!placeNodeByLabels(ctx, mapping, v, 1.0, true))
-                return false; // some op unsupported: unmappable
+            if (!placeNodeByLabels(ctx, mapping, v, 1.0, true)) {
+                ok = false; // some op unsupported: unmappable
+                break;
+            }
         }
-        routeByPriority(mapping);
-        return true;
+        if (ok)
+            routeByPriority(mapping, ws);
+        stats.initSeconds += init_timer.seconds();
+        return ok;
     };
 
     if (!initial_mapping())
-        return std::nullopt;
+        return finish(std::nullopt);
     if (mapping.valid())
-        return mapping;
+        return finish(std::move(mapping));
     long since_improvement = 0;
 
+    Stopwatch move_timer;
     while (timer.seconds() < ctx.timeBudget && !ctx.cancelled()) {
         // Periodic restart when the movement loop stops making progress.
         if (since_improvement > 400) {
-            if (!initial_mapping())
-                return std::nullopt;
-            if (mapping.valid())
-                return mapping;
+            if (!initial_mapping()) {
+                stats.moveSeconds += move_timer.seconds();
+                return finish(std::nullopt);
+            }
+            if (mapping.valid()) {
+                stats.moveSeconds += move_timer.seconds();
+                return finish(std::move(mapping));
+            }
             since_improvement = 0;
             attempts = 0;
             accepted = 0;
@@ -283,14 +308,17 @@ LisaMapper::attemptStream(const map::MapContext &ctx)
             const dfg::Edge &edge = ctx.dfg.edge(e);
             if (!mapping.isPlaced(edge.src) || !mapping.isPlaced(edge.dst))
                 continue;
-            auto res = map::routeEdge(mapping, e, cfg.routerCosts);
+            const map::RouteResult *res =
+                map::routeEdge(mapping, e, cfg.routerCosts, ws);
             if (res)
-                mapping.setRoute(e, std::move(res->path));
+                mapping.setRoute(e, res->path);
         }
 
         if (mapping.valid()) {
             mapping.commitTransaction();
-            return mapping;
+            ++stats.movesCommitted;
+            stats.moveSeconds += move_timer.seconds();
+            return finish(std::move(mapping));
         }
 
         const double delta = map::mappingCostDelta(mapping, cfg.costParams);
@@ -299,6 +327,7 @@ LisaMapper::attemptStream(const map::MapContext &ctx)
             delta <= 0 || ctx.rng.uniform() < std::exp(-delta / temp);
         if (accept) {
             mapping.commitTransaction();
+            ++stats.movesCommitted;
             if (delta < 0) {
                 ++accepted;
                 since_improvement = 0;
@@ -308,13 +337,15 @@ LisaMapper::attemptStream(const map::MapContext &ctx)
         } else {
             ++since_improvement;
             mapping.rollbackTransaction();
+            ++stats.movesRolledBack;
         }
 
         temp *= cfg.coolRate;
         if (temp < cfg.minTemp)
             temp = cfg.minTemp;
     }
-    return std::nullopt;
+    stats.moveSeconds += move_timer.seconds();
+    return finish(std::nullopt);
 }
 
 std::optional<map::Mapping>

@@ -23,6 +23,7 @@
 #include "core/labels.hh"
 #include "mapping/cost.hh"
 #include "mapping/router.hh"
+#include "mapping/router_workspace.hh"
 #include "mappers/mapper.hh"
 
 namespace lisa::core {
@@ -78,7 +79,8 @@ class LisaMapper : public map::Mapper
                            double sigma, bool use_labels) const;
 
     /** Route all un-routed edges in descending label-4 priority. */
-    void routeByPriority(map::Mapping &mapping) const;
+    void routeByPriority(map::Mapping &mapping,
+                         map::RouterWorkspace &ws) const;
 
     Labels lbls;
     LisaConfig cfg;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mapping/router_workspace.hh"
 #include "mappers/placement_util.hh"
 #include "support/stopwatch.hh"
 
@@ -20,6 +21,7 @@ struct Dfs
     const std::vector<dfg::NodeId> &order;
     Stopwatch timer;
     bool timedOut = false;
+    RouterWorkspace ws;
 
     bool place(size_t depth);
     bool routeIncidentStrict(dfg::NodeId v,
@@ -60,14 +62,14 @@ Dfs::routeIncidentStrict(dfg::NodeId v, std::vector<dfg::EdgeId> &routed_here)
             continue;
         if (mapping.isRouted(e))
             continue;
-        auto res = routeEdge(mapping, e, cfg.routerCosts);
+        const RouteResult *res = routeEdge(mapping, e, cfg.routerCosts, ws);
         if (!res) {
             for (dfg::EdgeId r : routed_here)
                 mapping.clearRoute(r);
             routed_here.clear();
             return false;
         }
-        mapping.setRoute(e, std::move(res->path));
+        mapping.setRoute(e, res->path);
         routed_here.push_back(e);
     }
     return true;
@@ -126,7 +128,14 @@ ExactMapper::tryMap(const MapContext &ctx)
 {
     Mapping mapping(ctx.dfg, ctx.mrrg);
     Dfs dfs{ctx, mapping, cfg, ctx.analysis.topoOrder(), Stopwatch{}, false};
-    if (dfs.place(0) && mapping.valid())
+    const bool found = dfs.place(0) && mapping.valid();
+    if (ctx.stats) {
+        MapperStats stats;
+        stats.router = dfs.ws.counters;
+        stats.mapSeconds = dfs.timer.seconds();
+        ctx.stats->merge(stats);
+    }
+    if (found)
         return mapping;
     return std::nullopt;
 }

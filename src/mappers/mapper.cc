@@ -76,6 +76,9 @@ runAttemptPortfolio(
     std::atomic<bool> firstSuccess{false};
     std::vector<std::optional<Mapping>> results(
         static_cast<size_t>(streams));
+    // Each stream gets a private stats sink; merged after the join so the
+    // streams never contend on the caller's sink.
+    std::vector<MapperStats> streamStats(static_cast<size_t>(streams));
 
     ThreadPool::global().parallelFor(
         static_cast<size_t>(streams), [&](size_t k) {
@@ -86,13 +89,18 @@ runAttemptPortfolio(
                            ctx.mrrg,         ctx.timeBudget,
                            ctx.rng.split(k), 1,
                            ctx.stop,         &firstSuccess,
-                           ctx.attempts};
+                           ctx.attempts,     &streamStats[k]};
             auto m = attempt(sub);
             if (m) {
                 results[k] = std::move(m);
                 firstSuccess.store(true, std::memory_order_relaxed);
             }
         });
+
+    if (ctx.stats) {
+        for (const MapperStats &s : streamStats)
+            ctx.stats->merge(s);
+    }
 
     // Lowest stream index wins, so near-simultaneous successes resolve
     // the same way on every run.

@@ -16,6 +16,7 @@
 
 #include "dfg/analysis.hh"
 #include "dfg/dfg.hh"
+#include "mappers/mapper_stats.hh"
 #include "mapping/mapping.hh"
 #include "support/random.hh"
 
@@ -47,6 +48,11 @@ struct MapContext
     std::atomic<bool> *portfolioStop = nullptr;
     /** Optional counter of annealing attempts (restarts), for rates. */
     std::atomic<long> *attempts = nullptr;
+    /** Optional observability sink. Each attempt stream accumulates its
+     *  own MapperStats and merges it here when it finishes; with
+     *  parallelism > 1 the portfolio gives every stream a private sink
+     *  and merges after the join, so no hot-path synchronization. */
+    MapperStats *stats = nullptr;
 
     bool
     cancelled() const

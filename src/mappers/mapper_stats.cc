@@ -1,0 +1,38 @@
+#include "mappers/mapper_stats.hh"
+
+#include <sstream>
+
+namespace lisa::map {
+
+void
+MapperStats::merge(const MapperStats &o)
+{
+    router.merge(o.router);
+    movesCommitted += o.movesCommitted;
+    movesRolledBack += o.movesRolledBack;
+    restarts += o.restarts;
+    initSeconds += o.initSeconds;
+    moveSeconds += o.moveSeconds;
+    mapSeconds += o.mapSeconds;
+}
+
+std::string
+MapperStats::toJson() const
+{
+    std::ostringstream os;
+    os << "{"
+       << "\"routeEdgeCalls\":" << router.routeEdgeCalls << ","
+       << "\"routeFailures\":" << router.routeFailures << ","
+       << "\"pqPops\":" << router.pqPops << ","
+       << "\"relaxations\":" << router.relaxations << ","
+       << "\"routeSeconds\":" << router.routeSeconds << ","
+       << "\"movesCommitted\":" << movesCommitted << ","
+       << "\"movesRolledBack\":" << movesRolledBack << ","
+       << "\"restarts\":" << restarts << ","
+       << "\"initSeconds\":" << initSeconds << ","
+       << "\"moveSeconds\":" << moveSeconds << ","
+       << "\"mapSeconds\":" << mapSeconds << "}";
+    return os.str();
+}
+
+} // namespace lisa::map

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Mapper observability counters.
+ *
+ * Each annealing attempt stream accumulates one MapperStats privately (no
+ * synchronization in the hot loop) and merges it into the enclosing
+ * context's stats when the stream finishes; runAttemptPortfolio merges
+ * stream stats after the portfolio joins, and the II sweep accumulates
+ * across II attempts into SearchResult::stats. Merging is element-wise
+ * addition, so merges of disjoint streams are associative and
+ * commutative — the merged totals do not depend on the merge order.
+ *
+ * Enabled unconditionally: every counter is a plain per-thread increment,
+ * and the wall-clock phases cost two steady_clock reads per phase entry,
+ * which is noise next to a single routed edge.
+ */
+
+#ifndef LISA_MAPPERS_MAPPER_STATS_HH
+#define LISA_MAPPERS_MAPPER_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mapping/router_workspace.hh"
+
+namespace lisa::map {
+
+/** Counters of one mapping attempt (or a merge of several streams). */
+struct MapperStats
+{
+    /** Router-level counters (routeEdge calls, pops, relaxations...). */
+    RouterCounters router;
+
+    /** Speculative moves committed (Metropolis accepts). */
+    uint64_t movesCommitted = 0;
+    /** Speculative moves rolled back (Metropolis rejects). */
+    uint64_t movesRolledBack = 0;
+    /** Annealing restarts (fresh initial mappings), incl. the first. */
+    uint64_t restarts = 0;
+
+    /** @{ Per-phase wall-clock, seconds. initSeconds covers initial
+     *  placement + first routing pass of each restart; moveSeconds covers
+     *  the movement loops; router.routeSeconds (time inside routeEdge) is
+     *  a subset of both and is tracked separately by the workspace.
+     *  mapSeconds is the stream's total attempt wall-clock. Stream times
+     *  overlap in a parallel portfolio, so merged values are CPU-seconds,
+     *  not elapsed time. */
+    double initSeconds = 0.0;
+    double moveSeconds = 0.0;
+    double mapSeconds = 0.0;
+    /** @} */
+
+    /** Element-wise addition. */
+    void merge(const MapperStats &o);
+
+    bool operator==(const MapperStats &) const = default;
+
+    /** One-line JSON object with every counter, for the bench harness. */
+    std::string toJson() const;
+};
+
+} // namespace lisa::map
+
+#endif // LISA_MAPPERS_MAPPER_STATS_HH

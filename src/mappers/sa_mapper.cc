@@ -23,7 +23,8 @@ SaMapper::name() const
 }
 
 void
-SaMapper::randomInit(const MapContext &ctx, Mapping &mapping)
+SaMapper::randomInit(const MapContext &ctx, Mapping &mapping,
+                     RouterWorkspace &ws)
 {
     mapping.clear();
     const auto &accel = mapping.mrrg().accel();
@@ -45,11 +46,11 @@ SaMapper::randomInit(const MapContext &ctx, Mapping &mapping)
         }
         mapping.placeNode(v, pe, time);
     }
-    routeInOrder(mapping);
+    routeInOrder(mapping, ws);
 }
 
 void
-SaMapper::routeInOrder(Mapping &mapping)
+SaMapper::routeInOrder(Mapping &mapping, RouterWorkspace &ws)
 {
     std::vector<dfg::EdgeId> order(mapping.dfg().numEdges());
     std::iota(order.begin(), order.end(), dfg::EdgeId{0});
@@ -57,17 +58,22 @@ SaMapper::routeInOrder(Mapping &mapping)
         mapping.numPlaced() == mapping.dfg().numNodes()) {
         sortByRoutingPriority(mapping, order);
     }
-    routeAll(mapping, cfg.routerCosts, order);
+    routeAll(mapping, cfg.routerCosts, ws, order);
 }
 
 bool
-SaMapper::annealOnce(const MapContext &ctx, Mapping &mapping, double budget)
+SaMapper::annealOnce(const MapContext &ctx, Mapping &mapping, double budget,
+                     RouterWorkspace &ws, MapperStats &stats)
 {
     Stopwatch timer;
     const auto &accel = mapping.mrrg().accel();
     const int ii = mapping.mrrg().ii();
 
-    randomInit(ctx, mapping);
+    {
+        Stopwatch init_timer;
+        randomInit(ctx, mapping, ws);
+        stats.initSeconds += init_timer.seconds();
+    }
     if (mapping.numPlaced() != ctx.dfg.numNodes())
         return false;
     if (mapping.valid())
@@ -78,92 +84,113 @@ SaMapper::annealOnce(const MapContext &ctx, Mapping &mapping, double budget)
     const int moves = cfg.movesPerTemp * cfg.movementMultiplier;
     const size_t num_nodes = ctx.dfg.numNodes();
 
-    while (temp > cfg.minTemp) {
-        int accepted = 0;
-        for (int m = 0; m < moves; ++m) {
-            if ((m & 15) == 0 &&
-                (ctx.cancelled() || timer.seconds() > budget))
-                return mapping.valid();
+    Stopwatch move_timer;
+    bool ok = [&]() -> bool {
+        while (temp > cfg.minTemp) {
+            int accepted = 0;
+            for (int m = 0; m < moves; ++m) {
+                if ((m & 15) == 0 &&
+                    (ctx.cancelled() || timer.seconds() > budget))
+                    return mapping.valid();
 
-            dfg::NodeId v = static_cast<dfg::NodeId>(ctx.rng.index(num_nodes));
-            auto capable = accel.opCapablePes(ctx.dfg.node(v).op);
-            if (capable.empty())
-                continue;
+                dfg::NodeId v =
+                    static_cast<dfg::NodeId>(ctx.rng.index(num_nodes));
+                auto capable = accel.opCapablePes(ctx.dfg.node(v).op);
+                if (capable.empty())
+                    continue;
 
-            const int old_time = mapping.placement(v).time;
-            auto affected = incidentEdges(ctx.dfg, v);
+                const int old_time = mapping.placement(v).time;
+                auto affected = incidentEdges(ctx.dfg, v);
 
-            // Speculative move: the transaction records every placement
-            // and route delta, so reject is a rollback instead of a
-            // hand-rolled snapshot/undo, and the accept test reads the
-            // incremental cost delta instead of recomputing from scratch.
-            mapping.beginTransaction();
-            for (dfg::EdgeId e : affected)
-                mapping.clearRoute(e);
-            mapping.unplaceNode(v);
+                // Speculative move: the transaction records every
+                // placement and route delta, so reject is a rollback
+                // instead of a hand-rolled snapshot/undo, and the accept
+                // test reads the incremental cost delta instead of
+                // recomputing from scratch.
+                mapping.beginTransaction();
+                for (dfg::EdgeId e : affected)
+                    mapping.clearRoute(e);
+                mapping.unplaceNode(v);
 
-            int pe = ctx.rng.pick(capable);
-            int time = old_time;
-            if (accel.temporalMapping()) {
-                TimeWindow w = feasibleWindow(mapping, ctx.analysis, v);
-                if (w.valid() && ctx.rng.chance(0.7)) {
-                    int hi = std::min(w.hi, w.lo + ii + 2);
-                    time = ctx.rng.uniformInt(w.lo, hi);
+                int pe = ctx.rng.pick(capable);
+                int time = old_time;
+                if (accel.temporalMapping()) {
+                    TimeWindow w = feasibleWindow(mapping, ctx.analysis, v);
+                    if (w.valid() && ctx.rng.chance(0.7)) {
+                        int hi = std::min(w.hi, w.lo + ii + 2);
+                        time = ctx.rng.uniformInt(w.lo, hi);
+                    } else {
+                        time =
+                            std::clamp(old_time + ctx.rng.uniformInt(-2, 2),
+                                       0, mapping.horizon() - 1);
+                    }
+                }
+                mapping.placeNode(v, pe, time);
+
+                auto route = [&](const std::vector<dfg::EdgeId> &order) {
+                    for (dfg::EdgeId e : order) {
+                        const RouteResult *res =
+                            routeEdge(mapping, e, cfg.routerCosts, ws);
+                        if (res)
+                            mapping.setRoute(e, res->path);
+                    }
+                };
+                if (cfg.routingPriority && accel.temporalMapping()) {
+                    auto order = affected;
+                    sortByRoutingPriority(mapping, order);
+                    route(order);
                 } else {
-                    time = std::clamp(old_time + ctx.rng.uniformInt(-2, 2),
-                                      0, mapping.horizon() - 1);
+                    route(affected); // no priority: no copy, no sort
+                }
+
+                double delta = mappingCostDelta(mapping, cfg.costParams);
+                bool accept = delta <= 0 ||
+                              ctx.rng.uniform() < std::exp(-delta / temp);
+                if (accept) {
+                    mapping.commitTransaction();
+                    ++stats.movesCommitted;
+                    ++accepted;
+                    if (mapping.valid())
+                        return true;
+                } else {
+                    mapping.rollbackTransaction();
+                    ++stats.movesRolledBack;
                 }
             }
-            mapping.placeNode(v, pe, time);
-
-            auto route = [&](const std::vector<dfg::EdgeId> &order) {
-                for (dfg::EdgeId e : order) {
-                    auto res = routeEdge(mapping, e, cfg.routerCosts);
-                    if (res)
-                        mapping.setRoute(e, std::move(res->path));
-                }
-            };
-            if (cfg.routingPriority && accel.temporalMapping()) {
-                auto order = affected;
-                sortByRoutingPriority(mapping, order);
-                route(order);
-            } else {
-                route(affected); // no priority: no copy, no sort
-            }
-
-            double delta = mappingCostDelta(mapping, cfg.costParams);
-            bool accept = delta <= 0 ||
-                          ctx.rng.uniform() < std::exp(-delta / temp);
-            if (accept) {
-                mapping.commitTransaction();
-                ++accepted;
-                if (mapping.valid())
-                    return true;
-            } else {
-                mapping.rollbackTransaction();
-            }
+            stalled = (accepted == 0) ? stalled + 1 : 0;
+            if (stalled >= cfg.stallLimit)
+                break; // frozen: restart with a fresh random start
+            temp *= cfg.coolRate;
         }
-        stalled = (accepted == 0) ? stalled + 1 : 0;
-        if (stalled >= cfg.stallLimit)
-            break; // frozen: restart with a fresh random start
-        temp *= cfg.coolRate;
-    }
-    return mapping.valid();
+        return mapping.valid();
+    }();
+    stats.moveSeconds += move_timer.seconds();
+    return ok;
 }
 
 std::optional<Mapping>
 SaMapper::attemptStream(const MapContext &ctx)
 {
     Stopwatch total;
+    RouterWorkspace ws;
+    MapperStats stats;
+    std::optional<Mapping> out;
     while (total.seconds() < ctx.timeBudget && !ctx.cancelled()) {
         ctx.countAttempt();
+        ++stats.restarts;
         Mapping mapping(ctx.dfg, ctx.mrrg);
-        if (annealOnce(ctx, mapping, ctx.timeBudget - total.seconds()) &&
+        if (annealOnce(ctx, mapping, ctx.timeBudget - total.seconds(), ws,
+                       stats) &&
             mapping.valid()) {
-            return mapping;
+            out = std::move(mapping);
+            break;
         }
     }
-    return std::nullopt;
+    stats.router = ws.counters;
+    stats.mapSeconds = total.seconds();
+    if (ctx.stats)
+        ctx.stats->merge(stats);
+    return out;
 }
 
 std::optional<Mapping>

@@ -21,6 +21,7 @@
 
 #include "mapping/cost.hh"
 #include "mapping/router.hh"
+#include "mapping/router_workspace.hh"
 #include "mappers/mapper.hh"
 
 namespace lisa::map {
@@ -58,11 +59,14 @@ class SaMapper : public Mapper
 
     /** One annealing run from a fresh random start, within @p budget
      *  seconds. Moves are transactional: reject rolls the move back and
-     *  accept reads the incremental cost delta. */
-    bool annealOnce(const MapContext &ctx, Mapping &mapping, double budget);
+     *  accept reads the incremental cost delta. @p ws is the stream's
+     *  router scratch state; @p stats accumulates move/phase counters. */
+    bool annealOnce(const MapContext &ctx, Mapping &mapping, double budget,
+                    RouterWorkspace &ws, MapperStats &stats);
 
-    void randomInit(const MapContext &ctx, Mapping &mapping);
-    void routeInOrder(Mapping &mapping);
+    void randomInit(const MapContext &ctx, Mapping &mapping,
+                    RouterWorkspace &ws);
+    void routeInOrder(Mapping &mapping, RouterWorkspace &ws);
 
     SaConfig cfg;
 };

@@ -76,11 +76,21 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
             result.seconds = total.seconds();
             return result;
         }
+        // The per-attempt budget is capped by the total budget (and can
+        // never go negative): a sweep whose total budget is already
+        // exhausted must not launch an attempt at all.
+        const double budget =
+            std::max(0.0, std::min(options.perIiBudget,
+                                   options.totalBudget - total.seconds()));
+        if (budget <= 0.0) {
+            result.seconds = total.seconds();
+            return result;
+        }
         auto mrrg = std::make_shared<const arch::Mrrg>(accel, 1);
         MapContext ctx{dfg,           analysis,     mrrg,
-                       options.perIiBudget,         base.split(1),
+                       budget,                      base.split(1),
                        threads,       options.stop, nullptr,
-                       &attempts};
+                       &attempts,     &result.stats};
         auto mapping = mapper.tryMap(ctx);
         result.seconds = total.seconds();
         result.attempts = attempts.load();
@@ -100,14 +110,20 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
     result.mii = mii;
 
     for (int ii = mii; ii <= accel.maxIi(); ++ii) {
-        if (total.seconds() >= options.totalBudget)
-            break;
         if (options.stop &&
             options.stop->load(std::memory_order_relaxed)) {
             break;
         }
-        double budget = std::min(options.perIiBudget,
-                                 options.totalBudget - total.seconds());
+        // One wall-clock read decides both the cadence check and the
+        // attempt budget. Reading the clock twice (check, then budget
+        // computation) leaves a window where the budget goes negative
+        // when wall-clock crosses totalBudget between the reads — the
+        // attempt would then still run its full initial mapping pass
+        // before its own first budget check.
+        const double remaining = options.totalBudget - total.seconds();
+        const double budget = std::min(options.perIiBudget, remaining);
+        if (budget <= 0.0)
+            break; // no time remains: skip the attempt entirely
         auto mrrg = std::make_shared<const arch::Mrrg>(accel, ii);
         MapContext ctx{dfg,
                        analysis,
@@ -117,7 +133,8 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
                        threads,
                        options.stop,
                        nullptr,
-                       &attempts};
+                       &attempts,
+                       &result.stats};
         auto mapping = mapper.tryMap(ctx);
         if (mapping) {
             result.success = true;

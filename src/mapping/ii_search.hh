@@ -49,6 +49,8 @@ struct SearchResult
     double seconds = 0.0;
     /** Annealing attempts (restart count) summed over all streams. */
     long attempts = 0;
+    /** Observability counters merged over all streams and II attempts. */
+    MapperStats stats;
     /** The valid mapping (present iff success). */
     std::optional<Mapping> mapping;
 };

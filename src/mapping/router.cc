@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 
+#include "mapping/router_workspace.hh"
+#include "mappers/placement_util.hh"
 #include "support/logging.hh"
+#include "support/stopwatch.hh"
 
 namespace lisa::map {
 
@@ -34,46 +36,41 @@ stepCost(const Mapping &mapping, int res, int64_t key,
     return base;
 }
 
-/** An existing holder of the value being routed. */
-struct Seed
-{
-    int res;            ///< resource id
-    int step;           ///< hops from the producer (0 = producer FU)
-    dfg::EdgeId parent; ///< route supplying the prefix (-1 = producer)
-};
-
 /** Existing holders of value @p u: producer FU at step 0 plus every
- *  position of already-routed out-edges of @p u. */
-std::vector<Seed>
-collectSeeds(const Mapping &mapping, dfg::NodeId u)
+ *  position of already-routed out-edges of @p u, filled into @p seeds. */
+void
+collectSeeds(const Mapping &mapping, dfg::NodeId u,
+             std::vector<RouteSeed> &seeds)
 {
     const auto &dfg = mapping.dfg();
     const Placement &pu = mapping.placement(u);
-    std::vector<Seed> seeds;
-    seeds.push_back(Seed{mapping.mrrg().fuId(pu.pe, pu.time), 0, -1});
+    seeds.clear();
+    seeds.push_back(RouteSeed{mapping.mrrg().fuId(pu.pe, pu.time), 0, -1});
     for (dfg::EdgeId e : dfg.outEdges(u)) {
         if (!mapping.isRouted(e))
             continue;
         const auto &path = mapping.route(e);
         for (size_t i = 0; i < path.size(); ++i)
-            seeds.push_back(Seed{path[i], static_cast<int>(i) + 1, e});
+            seeds.push_back(RouteSeed{path[i], static_cast<int>(i) + 1, e});
     }
-    return seeds;
 }
 
-/** First @p steps hops of @p parent's route (the shared fanout prefix). */
-std::vector<int>
-sharedPrefix(const Mapping &mapping, dfg::EdgeId parent, int steps)
+/** Prepend the first @p steps hops of @p parentEdge's route (the shared
+ *  fanout prefix) so the stored path is complete from the producer. */
+void
+prependSharedPrefix(const Mapping &mapping, dfg::EdgeId parentEdge,
+                    int steps, std::vector<int> &path)
 {
-    if (parent < 0 || steps <= 0)
-        return {};
-    const auto &path = mapping.route(parent);
-    return {path.begin(), path.begin() + steps};
+    if (parentEdge < 0 || steps <= 0)
+        return;
+    const auto &prefix = mapping.route(parentEdge);
+    path.insert(path.begin(), prefix.begin(), prefix.begin() + steps);
 }
 
 /** Exact-length layered DP for temporal architectures. */
-std::optional<RouteResult>
-routeTemporal(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs)
+const RouteResult *
+routeTemporal(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
+              RouterWorkspace &ws)
 {
     const auto &mrrg = mapping.mrrg();
     const dfg::Edge &edge = mapping.dfg().edge(e);
@@ -81,23 +78,18 @@ routeTemporal(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs)
     const Placement &dst = mapping.placement(edge.dst);
     const int len = mapping.requiredLength(e);
     if (len < 0)
-        return std::nullopt;
+        return nullptr;
 
     const int per_layer = mrrg.perLayerCount();
     const int ii = mrrg.ii();
 
-    // cost[s][idx] = cheapest way to have the value on resource idx of
-    // layer (src.time + s) mod II after s moves. parent[s][idx] = index in
-    // layer s-1, or -2 for seeds. seedEdge[s][idx] = route supplying the
-    // shared fanout prefix for a seed.
-    std::vector<std::vector<double>> cost(
-        len + 1, std::vector<double>(per_layer, kInf));
-    std::vector<std::vector<int>> parent(
-        len + 1, std::vector<int>(per_layer, -1));
-    std::vector<std::vector<dfg::EdgeId>> seedEdge(
-        len + 1, std::vector<dfg::EdgeId>(per_layer, -1));
+    // DP cell (s, idx) = cheapest way to have the value on resource idx of
+    // layer (src.time + s) mod II after s moves. Parent -2 marks seeds;
+    // the seed's edge id supplies the shared fanout prefix.
+    ws.beginTemporal(len + 1, per_layer);
 
-    for (const Seed &seed : collectSeeds(mapping, edge.src)) {
+    collectSeeds(mapping, edge.src, ws.seeds);
+    for (const RouteSeed &seed : ws.seeds) {
         if (seed.step > len)
             continue;
         // A holder only seeds the step whose layer it sits on (route
@@ -105,18 +97,16 @@ routeTemporal(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs)
         if (mrrg.layerOfResource(seed.res) != (src.time + seed.step) % ii)
             continue;
         int idx = mrrg.indexInLayer(seed.res);
-        if (cost[seed.step][idx] > 0.0) {
-            cost[seed.step][idx] = 0.0;
-            parent[seed.step][idx] = -2;
-            seedEdge[seed.step][idx] = seed.parent;
-        }
+        if (ws.dpCostAt(seed.step, idx) > 0.0)
+            ws.dpSeed(seed.step, idx, seed.parent);
     }
 
     for (int s = 0; s < len; ++s) {
         const int layer_base = ((src.time + s) % ii) * per_layer;
         const int64_t key = mapping.instanceKey(edge.src, src.time + s + 1);
         for (int idx = 0; idx < per_layer; ++idx) {
-            if (cost[s][idx] == kInf)
+            const double here = ws.dpCostAt(s, idx);
+            if (here == kInf)
                 continue;
             const int res = layer_base + idx;
             for (int next : mrrg.resource(res).moveTargets) {
@@ -124,11 +114,8 @@ routeTemporal(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs)
                 if (c == kInf)
                     continue;
                 int nidx = mrrg.indexInLayer(next);
-                double total = cost[s][idx] + c;
-                if (total < cost[s + 1][nidx]) {
-                    cost[s + 1][nidx] = total;
-                    parent[s + 1][nidx] = idx;
-                }
+                if (ws.dpImprove(s + 1, nidx, here + c, idx))
+                    ++ws.counters.relaxations;
             }
         }
     }
@@ -141,76 +128,66 @@ routeTemporal(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs)
         if (mrrg.layerOfResource(res) != final_layer)
             continue;
         int idx = mrrg.indexInLayer(res);
-        if (cost[len][idx] < best) {
-            best = cost[len][idx];
+        if (ws.dpCostAt(len, idx) < best) {
+            best = ws.dpCostAt(len, idx);
             best_idx = idx;
         }
     }
     if (best_idx < 0)
-        return std::nullopt;
+        return nullptr;
 
-    RouteResult result;
+    RouteResult &result = ws.result;
+    result.path.clear();
     result.cost = best;
     int s = len;
     int idx = best_idx;
-    while (s > 0 && parent[s][idx] != -2) {
+    while (s > 0 && ws.dpParentAt(s, idx) != -2) {
         result.path.push_back(((src.time + s) % ii) * per_layer + idx);
-        idx = parent[s][idx];
+        idx = ws.dpParentAt(s, idx);
         --s;
     }
     std::reverse(result.path.begin(), result.path.end());
     if (s > 0) {
-        // Branched off an existing route: prepend the shared prefix so the
-        // stored path is complete from the producer.
-        std::vector<int> prefix =
-            sharedPrefix(mapping, seedEdge[s][idx], s);
-        result.path.insert(result.path.begin(), prefix.begin(),
-                           prefix.end());
+        // Branched off an existing route mid-way.
+        prependSharedPrefix(mapping, ws.dpSeedEdgeAt(s, idx), s,
+                            result.path);
     }
     if (static_cast<int>(result.path.size()) != len)
         panic("routeTemporal: reconstructed path length ",
               result.path.size(), " != required ", len);
-    return result;
+    return &result;
 }
 
 /** Variable-length Dijkstra for spatial-only architectures. */
-std::optional<RouteResult>
-routeSpatial(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs)
+const RouteResult *
+routeSpatial(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
+             RouterWorkspace &ws)
 {
     const auto &mrrg = mapping.mrrg();
     const dfg::Edge &edge = mapping.dfg().edge(e);
     const Placement &dst = mapping.placement(edge.dst);
     const int64_t key = mapping.instanceKey(edge.src, 0);
 
-    const int n = mrrg.numResources();
-    std::vector<double> cost(n, kInf);
-    std::vector<int> parent(n, -1);
-    std::vector<int> seedStep(n, 0);
-    std::vector<dfg::EdgeId> seedEdge(n, -1);
+    ws.beginSpatial(mrrg.numResources());
 
-    using Item = std::pair<double, int>;
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-    for (const Seed &seed : collectSeeds(mapping, edge.src)) {
-        if (cost[seed.res] > 0.0) {
-            cost[seed.res] = 0.0;
-            parent[seed.res] = -2;
-            seedStep[seed.res] = seed.step;
-            seedEdge[seed.res] = seed.parent;
-            pq.emplace(0.0, seed.res);
+    collectSeeds(mapping, edge.src, ws.seeds);
+    for (const RouteSeed &seed : ws.seeds) {
+        if (ws.costOf(seed.res) > 0.0) {
+            ws.seedSpatial(seed.res, seed.step, seed.parent);
+            ws.pushHeap(0.0, seed.res);
         }
     }
 
-    std::vector<bool> is_goal(n, false);
     for (int g : mrrg.feeders(dst.pe, dst.time))
-        is_goal[g] = true;
+        ws.markGoal(g);
 
     int found = -1;
-    while (!pq.empty()) {
-        auto [c, res] = pq.top();
-        pq.pop();
-        if (c > cost[res])
+    while (!ws.heapEmpty()) {
+        auto [c, res] = ws.popHeap();
+        ++ws.counters.pqPops;
+        if (c > ws.costOf(res))
             continue;
-        if (is_goal[res]) {
+        if (ws.isGoal(res)) {
             found = res;
             break;
         }
@@ -218,72 +195,105 @@ routeSpatial(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs)
             double sc = stepCost(mapping, next, key, costs);
             if (sc == kInf)
                 continue;
-            if (c + sc < cost[next]) {
-                cost[next] = c + sc;
-                parent[next] = res;
-                pq.emplace(cost[next], next);
+            if (ws.improve(next, c + sc, res)) {
+                ++ws.counters.relaxations;
+                ws.pushHeap(c + sc, next);
             }
         }
     }
     if (found < 0)
-        return std::nullopt;
+        return nullptr;
 
-    RouteResult result;
-    result.cost = cost[found];
+    RouteResult &result = ws.result;
+    result.path.clear();
+    result.cost = ws.costOf(found);
     int res = found;
-    while (parent[res] != -2) {
+    while (ws.parentOf(res) != -2) {
         result.path.push_back(res);
-        res = parent[res];
+        res = ws.parentOf(res);
     }
     std::reverse(result.path.begin(), result.path.end());
     // Prepend the shared fanout prefix when the search started mid-route.
-    std::vector<int> prefix =
-        sharedPrefix(mapping, seedEdge[res], seedStep[res]);
-    result.path.insert(result.path.begin(), prefix.begin(), prefix.end());
-    return result;
+    prependSharedPrefix(mapping, ws.seedEdgeOf(res), ws.seedStepOf(res),
+                        result.path);
+    return &result;
 }
 
 } // namespace
 
-std::optional<RouteResult>
-routeEdge(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs)
+const RouteResult *
+routeEdge(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
+          RouterWorkspace &ws)
 {
+    Stopwatch timer;
+    ++ws.counters.routeEdgeCalls;
+    const size_t seed_cap = ws.seeds.capacity();
+    const size_t path_cap = ws.result.path.capacity();
+
     const dfg::Edge &edge = mapping.dfg().edge(e);
     if (!mapping.isPlaced(edge.src) || !mapping.isPlaced(edge.dst))
         panic("routeEdge: edge ", e, " has unplaced endpoints");
     if (mapping.isRouted(e))
         panic("routeEdge: edge ", e, " already routed");
-    if (mapping.mrrg().accel().temporalMapping())
-        return routeTemporal(mapping, e, costs);
-    // On spatial-only arrays an accumulator feedback loop lives inside the
-    // PE (a MAC unit): routing it through a neighbour would add latency
-    // and break the II=1 feedback. No routing resources are needed.
-    if (edge.src == edge.dst)
-        return RouteResult{};
-    return routeSpatial(mapping, e, costs);
+
+    const RouteResult *out;
+    if (mapping.mrrg().accel().temporalMapping()) {
+        out = routeTemporal(mapping, e, costs, ws);
+    } else if (edge.src == edge.dst) {
+        // On spatial-only arrays an accumulator feedback loop lives inside
+        // the PE (a MAC unit): routing it through a neighbour would add
+        // latency and break the II=1 feedback. No routing resources are
+        // needed.
+        ws.result.path.clear();
+        ws.result.cost = 0.0;
+        out = &ws.result;
+    } else {
+        out = routeSpatial(mapping, e, costs, ws);
+    }
+
+    if (!out)
+        ++ws.counters.routeFailures;
+    if (ws.seeds.capacity() != seed_cap)
+        ws.noteGrowth();
+    if (ws.result.path.capacity() != path_cap)
+        ws.noteGrowth();
+    ws.counters.routeSeconds += timer.seconds();
+    return out;
+}
+
+std::optional<RouteResult>
+routeEdge(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs)
+{
+    RouterWorkspace ws;
+    const RouteResult *r = routeEdge(mapping, e, costs, ws);
+    if (!r)
+        return std::nullopt;
+    return *r;
 }
 
 int
-rerouteIncident(Mapping &mapping, dfg::NodeId v, const RouterCosts &costs)
+rerouteIncident(Mapping &mapping, dfg::NodeId v, const RouterCosts &costs,
+                RouterWorkspace &ws)
 {
-    const auto &dfg = mapping.dfg();
-    std::vector<dfg::EdgeId> affected;
-    for (dfg::EdgeId e : dfg.inEdges(v))
-        affected.push_back(e);
-    for (dfg::EdgeId e : dfg.outEdges(v))
-        affected.push_back(e);
+    // incidentEdges keeps self-loops once. Building the rip-up set from
+    // raw inEdges + outEdges would list a self-loop edge twice, and the
+    // second pass would hit routeEdge's already-routed panic after the
+    // first pass installed its (empty) route.
+    std::vector<dfg::EdgeId> affected = incidentEdges(mapping.dfg(), v);
 
     for (dfg::EdgeId e : affected)
         mapping.clearRoute(e);
 
     int failures = 0;
     for (dfg::EdgeId e : affected) {
-        const dfg::Edge &edge = dfg.edge(e);
+        if (mapping.isRouted(e))
+            continue; // defensive guard, mirroring routeAll
+        const dfg::Edge &edge = mapping.dfg().edge(e);
         if (!mapping.isPlaced(edge.src) || !mapping.isPlaced(edge.dst))
             continue;
-        auto result = routeEdge(mapping, e, costs);
+        const RouteResult *result = routeEdge(mapping, e, costs, ws);
         if (result) {
-            mapping.setRoute(e, std::move(result->path));
+            mapping.setRoute(e, result->path);
         } else {
             ++failures;
         }
@@ -292,7 +302,14 @@ rerouteIncident(Mapping &mapping, dfg::NodeId v, const RouterCosts &costs)
 }
 
 int
-routeAll(Mapping &mapping, const RouterCosts &costs,
+rerouteIncident(Mapping &mapping, dfg::NodeId v, const RouterCosts &costs)
+{
+    RouterWorkspace ws;
+    return rerouteIncident(mapping, v, costs, ws);
+}
+
+int
+routeAll(Mapping &mapping, const RouterCosts &costs, RouterWorkspace &ws,
          const std::vector<dfg::EdgeId> &order)
 {
     const auto &dfg = mapping.dfg();
@@ -312,14 +329,22 @@ routeAll(Mapping &mapping, const RouterCosts &costs,
             ++failures;
             continue;
         }
-        auto result = routeEdge(mapping, e, costs);
+        const RouteResult *result = routeEdge(mapping, e, costs, ws);
         if (result) {
-            mapping.setRoute(e, std::move(result->path));
+            mapping.setRoute(e, result->path);
         } else {
             ++failures;
         }
     }
     return failures;
+}
+
+int
+routeAll(Mapping &mapping, const RouterCosts &costs,
+         const std::vector<dfg::EdgeId> &order)
+{
+    RouterWorkspace ws;
+    return routeAll(mapping, costs, ws, order);
 }
 
 } // namespace lisa::map

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Per-thread router scratch state.
+ *
+ * Every annealing movement rips up and re-routes a node's incident edges,
+ * so routeEdge is the hottest function in the mapper stack. The workspace
+ * owns the search arrays both router modes need (Dijkstra labels for the
+ * spatial search, the layered DP matrices for the temporal search, the
+ * binary heap, the seed list, and the result path) so that steady-state
+ * routing performs no heap allocations: buffers grow to the high-water
+ * mark of the (MRRG, DFG) pair and are then reused for every later call.
+ *
+ * Stale state is retired by *epoch stamping* instead of O(n) clears: each
+ * slot carries the epoch in which it was last written, beginSpatial /
+ * beginTemporal bump the workspace epoch, and a slot whose stamp differs
+ * from the current epoch reads as unvisited (infinite cost, no parent).
+ * Epochs are 64-bit and never wrap in practice.
+ *
+ * A workspace must not be shared between threads; each attempt stream of
+ * the annealing portfolio owns one. The workspace also accumulates
+ * RouterCounters (calls, heap pops, relaxations, failures, wall-clock)
+ * which the mappers harvest into their MapperStats.
+ */
+
+#ifndef LISA_MAPPING_ROUTER_WORKSPACE_HH
+#define LISA_MAPPING_ROUTER_WORKSPACE_HH
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "dfg/dfg.hh"
+#include "mapping/router.hh"
+
+namespace lisa::map {
+
+/**
+ * Router-level observability counters, accumulated by the workspace across
+ * routeEdge calls. Merging is element-wise addition, so merges of disjoint
+ * streams are associative and commutative.
+ */
+struct RouterCounters
+{
+    /** routeEdge invocations (either mode, including trivial self-loops). */
+    uint64_t routeEdgeCalls = 0;
+    /** routeEdge calls that found no route. */
+    uint64_t routeFailures = 0;
+    /** Priority-queue pops of the spatial Dijkstra search. */
+    uint64_t pqPops = 0;
+    /** Cost-label improvements (Dijkstra relaxations + DP transitions). */
+    uint64_t relaxations = 0;
+    /** Wall-clock seconds spent inside routeEdge. */
+    double routeSeconds = 0.0;
+
+    void
+    merge(const RouterCounters &o)
+    {
+        routeEdgeCalls += o.routeEdgeCalls;
+        routeFailures += o.routeFailures;
+        pqPops += o.pqPops;
+        relaxations += o.relaxations;
+        routeSeconds += o.routeSeconds;
+    }
+
+    bool operator==(const RouterCounters &) const = default;
+};
+
+/** An existing holder of the value being routed (fanout seed). */
+struct RouteSeed
+{
+    int res;            ///< resource id
+    int step;           ///< hops from the producer (0 = producer FU)
+    dfg::EdgeId parent; ///< route supplying the prefix (-1 = producer)
+};
+
+/** Reusable, epoch-stamped scratch state for the edge router. */
+class RouterWorkspace
+{
+  public:
+    static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+    /** @{ Search-start hooks: bump the epoch and size the arrays. */
+    void beginSpatial(int numResources);
+    /** @p steps rows (required length + 1) of @p perLayer slots each. */
+    void beginTemporal(int steps, int perLayer);
+    /** @} */
+
+    /** @{ Spatial Dijkstra labels (valid after beginSpatial). */
+    double
+    costOf(int res) const
+    {
+        return stamp[res] == epoch ? cost[res] : kInf;
+    }
+
+    int parentOf(int res) const { return parent[res]; }
+    int seedStepOf(int res) const { return seedStep[res]; }
+    dfg::EdgeId seedEdgeOf(int res) const { return seedEdge[res]; }
+
+    /** Label @p res as a fanout seed: zero cost, parent sentinel -2. */
+    void
+    seedSpatial(int res, int step, dfg::EdgeId edge)
+    {
+        stamp[res] = epoch;
+        cost[res] = 0.0;
+        parent[res] = -2;
+        seedStep[res] = step;
+        seedEdge[res] = edge;
+    }
+
+    /** Relax @p res to cost @p c via @p par; true when it improved. */
+    bool
+    improve(int res, double c, int par)
+    {
+        if (c >= costOf(res))
+            return false;
+        stamp[res] = epoch;
+        cost[res] = c;
+        parent[res] = par;
+        seedStep[res] = 0;
+        seedEdge[res] = -1;
+        return true;
+    }
+
+    void markGoal(int res) { goalStamp[res] = epoch; }
+    bool isGoal(int res) const { return goalStamp[res] == epoch; }
+    /** @} */
+
+    /** @{ Binary min-heap of (cost, resource) items. */
+    bool heapEmpty() const { return heap.empty(); }
+    void pushHeap(double c, int res);
+    std::pair<double, int> popHeap();
+    /** @} */
+
+    /** @{ Temporal DP matrix, flat-indexed [step * perLayer + idx]. */
+    double
+    dpCostAt(int s, int idx) const
+    {
+        const size_t i = flat(s, idx);
+        return dpStamp[i] == epoch ? dpCost[i] : kInf;
+    }
+
+    int dpParentAt(int s, int idx) const { return dpParent[flat(s, idx)]; }
+
+    dfg::EdgeId
+    dpSeedEdgeAt(int s, int idx) const
+    {
+        return dpSeedEdge[flat(s, idx)];
+    }
+
+    /** Label DP cell (s, idx) as a fanout seed of route @p edge. */
+    void
+    dpSeed(int s, int idx, dfg::EdgeId edge)
+    {
+        const size_t i = flat(s, idx);
+        dpStamp[i] = epoch;
+        dpCost[i] = 0.0;
+        dpParent[i] = -2;
+        dpSeedEdge[i] = edge;
+    }
+
+    /** Relax DP cell (s, idx); true when the cost improved. */
+    bool
+    dpImprove(int s, int idx, double c, int par)
+    {
+        if (c >= dpCostAt(s, idx))
+            return false;
+        const size_t i = flat(s, idx);
+        dpStamp[i] = epoch;
+        dpCost[i] = c;
+        dpParent[i] = par;
+        dpSeedEdge[i] = -1;
+        return true;
+    }
+    /** @} */
+
+    /** Fanout seed list, refilled per routeEdge call. */
+    std::vector<RouteSeed> seeds;
+
+    /** Result storage of the latest routeEdge call (path reused). */
+    RouteResult result;
+
+    /** Observability counters, accumulated across calls. */
+    RouterCounters counters;
+
+    /** @{ Capacity introspection for the zero-allocation tests. */
+    /** Total bytes of heap capacity held by all internal buffers. */
+    size_t capacityBytes() const;
+    /** Number of buffer-growth (reallocation) events so far. */
+    uint64_t allocationCount() const { return growthEvents; }
+    /** Record a reallocation of a buffer the router fills directly
+     *  (the seed list and the result path). */
+    void noteGrowth() { ++growthEvents; }
+    /** @} */
+
+  private:
+    size_t
+    flat(int s, int idx) const
+    {
+        return static_cast<size_t>(s) * dpPerLayer + idx;
+    }
+
+    /** Grow @p v to at least @p n slots, counting real reallocations. */
+    template <typename T>
+    void
+    ensure(std::vector<T> &v, size_t n)
+    {
+        if (v.size() >= n)
+            return;
+        if (v.capacity() < n)
+            ++growthEvents;
+        v.resize(n);
+    }
+
+    uint64_t epoch = 0;
+    uint64_t growthEvents = 0;
+
+    // Spatial labels.
+    std::vector<double> cost;
+    std::vector<int> parent;
+    std::vector<int> seedStep;
+    std::vector<dfg::EdgeId> seedEdge;
+    std::vector<uint64_t> stamp;
+    std::vector<uint64_t> goalStamp;
+    std::vector<std::pair<double, int>> heap;
+
+    // Temporal DP matrices.
+    size_t dpPerLayer = 0;
+    std::vector<double> dpCost;
+    std::vector<int> dpParent;
+    std::vector<dfg::EdgeId> dpSeedEdge;
+    std::vector<uint64_t> dpStamp;
+};
+
+} // namespace lisa::map
+
+#endif // LISA_MAPPING_ROUTER_WORKSPACE_HH

@@ -112,6 +112,63 @@ TEST(SearchMinIi, RespectsTotalBudget)
     EXPECT_LT(r.seconds, 2.0);
 }
 
+/** Probe mapper: records every attempt's time budget, never maps. */
+struct RecordingMapper : Mapper
+{
+    std::vector<double> budgets;
+    std::string name() const override { return "probe"; }
+    std::optional<Mapping>
+    tryMap(const MapContext &ctx) override
+    {
+        budgets.push_back(ctx.timeBudget);
+        return std::nullopt;
+    }
+};
+
+TEST(SearchMinIi, SpatialZeroTotalBudgetSkipsMapper)
+{
+    // Regression: the spatial branch used to ignore totalBudget entirely
+    // and hand the mapper the full perIiBudget even when the sweep had no
+    // time left. An exhausted sweep must not launch an attempt at all.
+    arch::SystolicArch s(3, 5);
+    dfg::DfgBuilder b("c2");
+    auto x = b.load("x");
+    b.op(OpCode::Add, {x});
+    dfg::Dfg g = b.build();
+    RecordingMapper probe;
+    SearchOptions opts;
+    opts.perIiBudget = 5.0;
+    opts.totalBudget = 0.0;
+    auto r = searchMinIi(probe, g, s, opts);
+    EXPECT_FALSE(r.success);
+    EXPECT_TRUE(probe.budgets.empty());
+    EXPECT_EQ(r.attempts, 0);
+}
+
+TEST(SearchMinIi, AttemptBudgetsClampedToRemainingTime)
+{
+    // Every attempt budget must satisfy 0 < budget <= min(perIiBudget,
+    // remaining total). The old temporal loop read the clock twice
+    // (cadence check, then budget computation), leaving a window where
+    // the attempt budget went negative.
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    dfg::DfgBuilder b("c2");
+    auto x = b.load("x");
+    b.op(OpCode::Add, {x});
+    dfg::Dfg g = b.build();
+    RecordingMapper probe;
+    SearchOptions opts;
+    opts.perIiBudget = 0.05;
+    opts.totalBudget = 0.2;
+    auto r = searchMinIi(probe, g, c, opts);
+    EXPECT_FALSE(r.success);
+    ASSERT_FALSE(probe.budgets.empty());
+    for (double budget : probe.budgets) {
+        EXPECT_GT(budget, 0.0);
+        EXPECT_LE(budget, opts.perIiBudget);
+    }
+}
+
 TEST(SearchMinIi, MappedSystolicKernelHasIiOne)
 {
     arch::SystolicArch s(5, 5);

@@ -217,4 +217,50 @@ TEST(RerouteIncident, RipUpAndReroute)
     EXPECT_TRUE(m.isRouted(0));
 }
 
+TEST(RerouteIncident, SelfLoopRoutedOnceSpatial)
+{
+    // Regression: a self-loop appears in both inEdges and outEdges of its
+    // node. rerouteIncident used to build the rip-up set from the raw
+    // concatenation, list the self-loop twice, and panic in the second
+    // routeEdge ("already routed") right after the first pass installed
+    // its empty in-PE route.
+    arch::SystolicArch s(3, 5);
+    auto mrrg = std::make_shared<const arch::Mrrg>(s, 1);
+    dfg::DfgBuilder b("mac");
+    auto x = b.load("x");
+    auto acc = b.op(OpCode::Add, {x});
+    b.recurrence(acc, acc); // edge 1: accumulator feedback self-loop
+    dfg::Dfg g = b.build();
+    Mapping m(g, mrrg);
+    m.placeNode(0, 0, 0);
+    m.placeNode(1, 1, 0);
+    ASSERT_EQ(routeAll(m, RouterCosts{}), 0);
+    EXPECT_EQ(rerouteIncident(m, 1, RouterCosts{}), 0);
+    EXPECT_TRUE(m.isRouted(0));
+    // The feedback stays inside the PE: routed, but with no resources.
+    EXPECT_TRUE(m.isRouted(1));
+    EXPECT_TRUE(m.route(1).empty());
+}
+
+TEST(RerouteIncident, SelfLoopRoutedOnceTemporal)
+{
+    // Same regression on a temporal CGRA: the II-1 self-recurrence routes
+    // to an empty path and must still be listed only once.
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 1);
+    dfg::DfgBuilder b("acc");
+    auto x = b.load("x");
+    auto acc = b.op(OpCode::Add, {x});
+    b.recurrence(acc, acc);
+    dfg::Dfg g = b.build();
+    Mapping m(g, mrrg);
+    m.placeNode(0, 0, 0);
+    m.placeNode(1, 1, 1);
+    ASSERT_EQ(routeAll(m, RouterCosts{}), 0);
+    EXPECT_EQ(rerouteIncident(m, 1, RouterCosts{}), 0);
+    EXPECT_TRUE(m.isRouted(0));
+    EXPECT_TRUE(m.isRouted(1));
+    EXPECT_TRUE(m.route(1).empty());
+}
+
 } // namespace
