@@ -82,7 +82,10 @@ searchResultJson(const std::string &accel, const std::string &kernel,
        << kernel << "\",\"mapper\":\"" << mapper
        << "\",\"success\":" << (r.success ? "true" : "false")
        << ",\"ii\":" << r.ii << ",\"mii\":" << r.mii
-       << ",\"seconds\":" << r.seconds << ",\"attempts\":" << r.attempts
+       << ",\"seconds\":" << r.seconds
+       << ",\"verify_ms\":" << r.verifySeconds * 1e3
+       << ",\"verified\":" << (r.verified ? "true" : "false")
+       << ",\"attempts\":" << r.attempts
        << ",\"stats\":" << r.stats.toJson() << "}";
     return os.str();
 }
@@ -234,9 +237,10 @@ compareMappers(const arch::Accelerator &accel,
     }
 
     const double secs = wall.seconds();
-    const double attempts_per_sec = secs > 0 ? total_attempts / secs : 0.0;
+    const double attempts_per_sec = secs > 0 ? static_cast<double>(total_attempts) / secs : 0.0;
     const double route_calls_per_sec =
-        secs > 0 ? suite_stats.router.routeEdgeCalls / secs : 0.0;
+        secs > 0 ? static_cast<double>(suite_stats.router.routeEdgeCalls) / secs
+                 : 0.0;
     std::cerr << "[bench] " << accel.name() << " suite: wall-clock "
               << fmtDouble(secs) << " s, threads=" << threads << ", "
               << total_attempts << " annealing attempts ("

@@ -75,8 +75,8 @@ BM_RouteOneEdge(benchmark::State &state)
     dfg::EdgeId edge = g.addEdge(a, b);
     map::Mapping m(g, mrrg);
     // Producer and a far consumer: corner to corner, 4 cycles later.
-    m.placeNode(a, 0, 0);
-    m.placeNode(b, 15, 4);
+    m.placeNode(a, PeId{0}, AbsTime{0});
+    m.placeNode(b, PeId{15}, AbsTime{4});
     for (auto _ : state) {
         auto r = map::routeEdge(m, edge, map::RouterCosts{});
         benchmark::DoNotOptimize(r.has_value());

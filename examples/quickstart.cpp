@@ -55,7 +55,7 @@ main()
         const map::Placement &p = m.placement(n.id);
         std::printf("%-10s pe%-4d t=%d\n",
                     n.name.empty() ? dfg::opName(n.op) : n.name.c_str(),
-                    p.pe, p.time);
+                    p.pe.value(), p.time.value());
     }
     std::printf("\nroute resources used: %d, overuse: %d\n",
                 m.totalRouteResources(), m.totalOveruse());

@@ -21,13 +21,13 @@ Mrrg::Mrrg(const Accelerator &accel, int ii)
 
     for (int t = 0; t < numLayers; ++t) {
         for (int pe = 0; pe < pes; ++pe) {
-            Resource &fu = resources[fuId(pe, t)];
+            Resource &fu = resources[fuId(PeId{pe}, AbsTime{t})];
             fu.kind = ResourceKind::Fu;
             fu.pe = pe;
             fu.reg = -1;
             fu.time = t;
             for (int k = 0; k < regsPerPe; ++k) {
-                Resource &rg = resources[regId(pe, k, t)];
+                Resource &rg = resources[regId(PeId{pe}, k, AbsTime{t})];
                 rg.kind = ResourceKind::Reg;
                 rg.pe = pe;
                 rg.reg = k;
@@ -44,19 +44,19 @@ Mrrg::Mrrg(const Accelerator &accel, int ii)
         for (int pe = 0; pe < pes; ++pe) {
             auto connect = [&](Resource &res) {
                 for (int dst : accel.linkTargets(pe)) {
-                    int target = fuId(dst, next);
-                    if (!temporal && target == fuId(pe, t))
+                    int target = fuId(PeId{dst}, AbsTime{next});
+                    if (!temporal && target == fuId(PeId{pe}, AbsTime{t}))
                         continue;
                     res.moveTargets.push_back(target);
                 }
                 if (temporal) {
                     for (int k = 0; k < regsPerPe; ++k)
-                        res.moveTargets.push_back(regId(pe, k, next));
+                        res.moveTargets.push_back(regId(PeId{pe}, k, AbsTime{next}));
                 }
             };
-            connect(resources[fuId(pe, t)]);
+            connect(resources[fuId(PeId{pe}, AbsTime{t})]);
             for (int k = 0; k < regsPerPe; ++k)
-                connect(resources[regId(pe, k, t)]);
+                connect(resources[regId(PeId{pe}, k, AbsTime{t})]);
         }
     }
 
@@ -67,9 +67,9 @@ Mrrg::Mrrg(const Accelerator &accel, int ii)
         for (int pe = 0; pe < pes; ++pe) {
             auto &list = feederTable[static_cast<size_t>(t) * pes + pe];
             auto add_pe = [&](int src) {
-                list.push_back(fuId(src, from));
+                list.push_back(fuId(PeId{src}, AbsTime{from}));
                 for (int k = 0; k < regsPerPe; ++k)
-                    list.push_back(regId(src, k, from));
+                    list.push_back(regId(PeId{src}, k, AbsTime{from}));
             };
             if (temporal)
                 add_pe(pe); // a PE reads its own previous-cycle output
@@ -79,38 +79,38 @@ Mrrg::Mrrg(const Accelerator &accel, int ii)
     }
 }
 
-int
-Mrrg::layerOf(int time) const
+Layer
+Mrrg::layerOf(AbsTime time) const
 {
     int layer = time % numLayers;
-    return layer < 0 ? layer + numLayers : layer;
+    return Layer{layer < 0 ? layer + numLayers : layer};
 }
 
-int
-Mrrg::fuId(int pe, int time) const
+FuId
+Mrrg::fuId(PeId pe, AbsTime time) const
 {
-    return layerOf(time) * perLayer + pe;
+    return FuId{layerOf(time) * perLayer + pe};
 }
 
-int
-Mrrg::regId(int pe, int reg, int time) const
+RrId
+Mrrg::regId(PeId pe, int reg, AbsTime time) const
 {
     const int pes = arch->numPes();
-    return layerOf(time) * perLayer + pes + pe * regsPerPe + reg;
+    return RrId{layerOf(time) * perLayer + pes + pe * regsPerPe + reg};
 }
 
 const std::vector<int> &
-Mrrg::feeders(int pe, int time) const
+Mrrg::feeders(PeId pe, AbsTime time) const
 {
     return feederTable[static_cast<size_t>(layerOf(time)) * arch->numPes() +
                        pe];
 }
 
 bool
-Mrrg::canFeed(int holder, int pe, int time) const
+Mrrg::canFeed(RrId holder, PeId pe, AbsTime time) const
 {
     const auto &list = feeders(pe, time);
-    return std::find(list.begin(), list.end(), holder) != list.end();
+    return std::find(list.begin(), list.end(), holder.value()) != list.end();
 }
 
 } // namespace lisa::arch

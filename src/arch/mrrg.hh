@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "arch/accelerator.hh"
+#include "support/strong_id.hh"
 
 namespace lisa::arch {
 
@@ -69,29 +70,29 @@ class Mrrg
     int perLayerCount() const { return perLayer; }
 
     /** Layer (time slot) of resource @p id. */
-    int layerOfResource(int id) const { return id / perLayer; }
+    Layer layerOfResource(int id) const { return Layer{id / perLayer}; }
 
     /** Index of resource @p id within its layer. */
     int indexInLayer(int id) const { return id % perLayer; }
 
     /** FU resource id for @p pe at layer @p time (time taken mod II). */
-    int fuId(int pe, int time) const;
+    FuId fuId(PeId pe, AbsTime time) const;
 
     /** Register resource id for (@p pe, @p reg) at layer @p time. */
-    int regId(int pe, int reg, int time) const;
+    RrId regId(PeId pe, int reg, AbsTime time) const;
 
     /**
      * Resources whose resident value is readable by an operation executing
      * at FU(@p pe, @p time): same-PE and linked-PE resources at the
      * previous layer (same layer for spatial-only architectures).
      */
-    const std::vector<int> &feeders(int pe, int time) const;
+    const std::vector<int> &feeders(PeId pe, AbsTime time) const;
 
     /** True when @p holder can directly feed an op at FU(pe, time). */
-    bool canFeed(int holder, int pe, int time) const;
+    bool canFeed(RrId holder, PeId pe, AbsTime time) const;
 
   private:
-    int layerOf(int time) const;
+    Layer layerOf(AbsTime time) const;
 
     const Accelerator *arch;
     int numLayers;

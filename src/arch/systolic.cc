@@ -25,21 +25,21 @@ SystolicArch::SystolicArch(int rows_, int cols_)
     : Accelerator("systolic" + std::to_string(rows_) + "x" +
                       std::to_string(cols_),
                   gridCoords(rows_, cols_)),
-      rows(rows_), cols(cols_)
+      _rows(rows_), _cols(cols_)
 {
-    if (rows < 1 || cols < 3)
+    if (_rows < 1 || _cols < 3)
         fatal("systolic array needs >= 3 columns (load/compute/store)");
 
-    auto pe_at = [&](int r, int c) { return r * cols + c; };
+    auto pe_at = [&](int r, int c) { return r * _cols + c; };
     std::vector<std::vector<int>> links(numPes());
-    for (int r = 0; r < rows; ++r) {
-        for (int c = 0; c < cols; ++c) {
+    for (int r = 0; r < _rows; ++r) {
+        for (int c = 0; c < _cols; ++c) {
             auto &out = links[pe_at(r, c)];
-            if (c + 1 < cols)
+            if (c + 1 < _cols)
                 out.push_back(pe_at(r, c + 1)); // east
             if (r > 0)
                 out.push_back(pe_at(r - 1, c)); // north
-            if (r + 1 < rows)
+            if (r + 1 < _rows)
                 out.push_back(pe_at(r + 1, c)); // south
         }
     }
@@ -55,11 +55,11 @@ SystolicArch::supportsOp(int pe, dfg::OpCode op) const
       case dfg::OpCode::Const:
         return col == 0;
       case dfg::OpCode::Store:
-        return col == cols - 1;
+        return col == _cols - 1;
       case dfg::OpCode::Mul:
       case dfg::OpCode::Add:
       case dfg::OpCode::Sub:
-        return col > 0 && col < cols - 1;
+        return col > 0 && col < _cols - 1;
       default:
         return false; // Revel-style units only multiply/add
     }

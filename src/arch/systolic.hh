@@ -28,9 +28,12 @@ class SystolicArch : public Accelerator
     bool temporalMapping() const override { return false; }
     int maxIi() const override { return 1; }
 
+    int rows() const { return _rows; }
+    int cols() const { return _cols; }
+
   private:
-    int rows;
-    int cols;
+    int _rows;
+    int _cols;
 };
 
 } // namespace lisa::arch

@@ -8,6 +8,7 @@
 #include "mappers/placement_util.hh"
 #include "support/logging.hh"
 #include "support/stopwatch.hh"
+#include "verify/verify.hh"
 
 namespace lisa::core {
 
@@ -157,7 +158,8 @@ LisaMapper::placeNodeByLabels(const map::MapContext &ctx,
                 }
                 // Penalise already-occupied FUs.
                 cost += cfg.occupiedPenalty *
-                        mapping.numInstancesOn(mapping.mrrg().fuId(pe, t));
+                        mapping.numInstancesOn(
+                            mapping.mrrg().fuId(PeId{pe}, AbsTime{t}));
             }
             candidates.push_back(Candidate{pe, t, cost});
         }
@@ -174,7 +176,8 @@ LisaMapper::placeNodeByLabels(const map::MapContext &ctx,
         std::floor(std::abs(ctx.rng.normal(0.0, sigma))));
     idx = std::min(idx, candidates.size() - 1);
 
-    mapping.placeNode(v, candidates[idx].pe, candidates[idx].time);
+    mapping.placeNode(v, PeId{candidates[idx].pe},
+                      AbsTime{candidates[idx].time});
     return true;
 }
 
@@ -250,8 +253,11 @@ LisaMapper::attemptStream(const map::MapContext &ctx)
 
     if (!initial_mapping())
         return finish(std::nullopt);
-    if (mapping.valid())
+    if (mapping.valid()) {
+        if (verify::validationEnabled())
+            verify::checkOrDie(mapping, {}, "LisaMapper acceptance");
         return finish(std::move(mapping));
+    }
     long since_improvement = 0;
 
     Stopwatch move_timer;
@@ -263,6 +269,10 @@ LisaMapper::attemptStream(const map::MapContext &ctx)
                 return finish(std::nullopt);
             }
             if (mapping.valid()) {
+                if (verify::validationEnabled()) {
+                    verify::checkOrDie(mapping, {},
+                                       "LisaMapper restart acceptance");
+                }
                 stats.moveSeconds += move_timer.seconds();
                 return finish(std::move(mapping));
             }
@@ -316,6 +326,8 @@ LisaMapper::attemptStream(const map::MapContext &ctx)
 
         if (mapping.valid()) {
             mapping.commitTransaction();
+            if (verify::validationEnabled())
+                verify::checkOrDie(mapping, {}, "LisaMapper acceptance");
             ++stats.movesCommitted;
             stats.moveSeconds += move_timer.seconds();
             return finish(std::move(mapping));
@@ -327,6 +339,10 @@ LisaMapper::attemptStream(const map::MapContext &ctx)
             delta <= 0 || ctx.rng.uniform() < std::exp(-delta / temp);
         if (accept) {
             mapping.commitTransaction();
+            if (verify::validationEnabled()) {
+                verify::checkOrDie(mapping, {.requireComplete = false},
+                                   "LisaMapper commit");
+            }
             ++stats.movesCommitted;
             if (delta < 0) {
                 ++accepted;

@@ -5,6 +5,7 @@
 #include "mapping/router_workspace.hh"
 #include "mappers/placement_util.hh"
 #include "support/stopwatch.hh"
+#include "verify/verify.hh"
 
 namespace lisa::map {
 
@@ -103,9 +104,10 @@ Dfs::place(size_t depth)
         for (int pe : capable) {
             // The FU slot must be exclusively ours (no overuse is ever
             // accepted in the exact search).
-            if (mapping.numInstancesOn(mapping.mrrg().fuId(pe, time)) > 0)
+            if (mapping.numInstancesOn(
+                    mapping.mrrg().fuId(PeId{pe}, AbsTime{time})) > 0)
                 continue;
-            mapping.placeNode(v, pe, time);
+            mapping.placeNode(v, PeId{pe}, AbsTime{time});
             std::vector<dfg::EdgeId> routed_here;
             if (routeIncidentStrict(v, routed_here)) {
                 if (place(depth + 1))
@@ -127,7 +129,8 @@ std::optional<Mapping>
 ExactMapper::tryMap(const MapContext &ctx)
 {
     Mapping mapping(ctx.dfg, ctx.mrrg);
-    Dfs dfs{ctx, mapping, cfg, ctx.analysis.topoOrder(), Stopwatch{}, false};
+    Dfs dfs{ctx, mapping, cfg, ctx.analysis.topoOrder(), Stopwatch{},
+            false, {}};
     const bool found = dfs.place(0) && mapping.valid();
     if (ctx.stats) {
         MapperStats stats;
@@ -135,8 +138,11 @@ ExactMapper::tryMap(const MapContext &ctx)
         stats.mapSeconds = dfs.timer.seconds();
         ctx.stats->merge(stats);
     }
-    if (found)
+    if (found) {
+        if (verify::validationEnabled())
+            verify::checkOrDie(mapping, {}, "ExactMapper acceptance");
         return mapping;
+    }
     return std::nullopt;
 }
 

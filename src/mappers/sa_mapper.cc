@@ -7,6 +7,7 @@
 #include "mappers/placement_util.hh"
 #include "support/logging.hh"
 #include "support/stopwatch.hh"
+#include "verify/verify.hh"
 
 namespace lisa::map {
 
@@ -44,7 +45,7 @@ SaMapper::randomInit(const MapContext &ctx, Mapping &mapping,
                 time = std::min(ctx.analysis.asap(v), mapping.horizon() - 1);
             }
         }
-        mapping.placeNode(v, pe, time);
+        mapping.placeNode(v, PeId{pe}, AbsTime{time});
     }
     routeInOrder(mapping, ws);
 }
@@ -125,7 +126,7 @@ SaMapper::annealOnce(const MapContext &ctx, Mapping &mapping, double budget,
                                        0, mapping.horizon() - 1);
                     }
                 }
-                mapping.placeNode(v, pe, time);
+                mapping.placeNode(v, PeId{pe}, AbsTime{time});
 
                 auto route = [&](const std::vector<dfg::EdgeId> &order) {
                     for (dfg::EdgeId e : order) {
@@ -148,6 +149,10 @@ SaMapper::annealOnce(const MapContext &ctx, Mapping &mapping, double budget,
                               ctx.rng.uniform() < std::exp(-delta / temp);
                 if (accept) {
                     mapping.commitTransaction();
+                    if (verify::validationEnabled()) {
+                        verify::checkOrDie(mapping, {.requireComplete = false},
+                                           "SaMapper commit");
+                    }
                     ++stats.movesCommitted;
                     ++accepted;
                     if (mapping.valid())
@@ -182,6 +187,8 @@ SaMapper::attemptStream(const MapContext &ctx)
         if (annealOnce(ctx, mapping, ctx.timeBudget - total.seconds(), ws,
                        stats) &&
             mapping.valid()) {
+            if (verify::validationEnabled())
+                verify::checkOrDie(mapping, {}, "SaMapper acceptance");
             out = std::move(mapping);
             break;
         }

@@ -5,6 +5,7 @@
 
 #include "support/logging.hh"
 #include "support/stopwatch.hh"
+#include "verify/verify.hh"
 
 namespace lisa::map {
 
@@ -95,6 +96,12 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
         result.seconds = total.seconds();
         result.attempts = attempts.load();
         if (mapping) {
+            // Final-answer check: every mapping searchMinIi hands out has
+            // passed the independent verifier, in every build type.
+            Stopwatch verify_timer;
+            verify::checkOrDie(*mapping, {}, "searchMinIi final (spatial)");
+            result.verifySeconds = verify_timer.seconds();
+            result.verified = true;
             result.success = true;
             result.ii = 1;
             result.mapping = std::move(mapping);
@@ -137,6 +144,11 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
                        &result.stats};
         auto mapping = mapper.tryMap(ctx);
         if (mapping) {
+            // Final-answer check, unconditional in every build type.
+            Stopwatch verify_timer;
+            verify::checkOrDie(*mapping, {}, "searchMinIi final");
+            result.verifySeconds = verify_timer.seconds();
+            result.verified = true;
             result.success = true;
             result.ii = ii;
             result.mapping = std::move(mapping);

@@ -47,6 +47,10 @@ struct SearchResult
     int mii = 0;
     /** Total wall-clock compilation time, seconds. */
     double seconds = 0.0;
+    /** Wall-clock cost of the final-answer invariant verification. */
+    double verifySeconds = 0.0;
+    /** True once the returned mapping passed the full verifier. */
+    bool verified = false;
     /** Annealing attempts (restart count) summed over all streams. */
     long attempts = 0;
     /** Observability counters merged over all streams and II attempts. */

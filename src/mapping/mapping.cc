@@ -25,15 +25,14 @@ Mapping::Mapping(const dfg::Dfg &dfg, std::shared_ptr<const arch::Mrrg> mrrg)
 }
 
 int64_t
-Mapping::instanceKey(dfg::NodeId v, int abs_time) const
+Mapping::instanceKey(dfg::NodeId v, AbsTime abs_time) const
 {
-    if (!temporal)
-        abs_time = 0;
-    return static_cast<int64_t>(v) * kTimeSpan + abs_time;
+    const int t = temporal ? abs_time : 0;
+    return static_cast<int64_t>(v) * kTimeSpan + t;
 }
 
 void
-Mapping::placeNode(dfg::NodeId v, int pe, int time)
+Mapping::placeNode(dfg::NodeId v, PeId pe, AbsTime time)
 {
     if (place[v].mapped())
         panic("placeNode: node ", v, " already placed");
@@ -80,7 +79,9 @@ Mapping::setRoute(dfg::EdgeId e, std::vector<int> path)
     const int src_time = place[edge.src].time;
     for (size_t i = 0; i < path.size(); ++i) {
         addInstance(path[i],
-                    instanceKey(edge.src, src_time + static_cast<int>(i) + 1));
+                    instanceKey(edge.src,
+                                AbsTime{src_time + static_cast<int>(i) +
+                                        1}));
     }
     routeResourceCount += static_cast<int>(path.size());
     routes[e] = std::move(path);
@@ -100,7 +101,8 @@ Mapping::clearRoute(dfg::EdgeId e)
     for (size_t i = 0; i < routes[e].size(); ++i) {
         removeInstance(
             routes[e][i],
-            instanceKey(edge.src, src_time + static_cast<int>(i) + 1));
+            instanceKey(edge.src,
+                        AbsTime{src_time + static_cast<int>(i) + 1}));
     }
     routeResourceCount -= static_cast<int>(routes[e].size());
     if (txnActive && !txnReplaying)

@@ -28,16 +28,23 @@
 #include "arch/mrrg.hh"
 #include "dfg/analysis.hh"
 #include "dfg/dfg.hh"
+#include "support/strong_id.hh"
 
 namespace lisa::map {
+
+/** @{ Named sentinels of an unplaced node. The verifier and
+ *  Placement::mapped() share these; no call site spells a bare -1. */
+inline constexpr PeId kUnplacedPe{-1};
+inline constexpr AbsTime kUnplacedTime{-1};
+/** @} */
 
 /** Where one DFG node lives: a PE and an absolute schedule time. */
 struct Placement
 {
-    int pe = -1;
-    int time = -1;
+    PeId pe = kUnplacedPe;
+    AbsTime time = kUnplacedTime;
 
-    bool mapped() const { return pe >= 0; }
+    bool mapped() const { return pe != kUnplacedPe; }
 };
 
 /**
@@ -71,7 +78,7 @@ class Mapping
     void setHorizon(int t) { maxTime = t; }
 
     /** Value-instance key for producer @p v live at @p abs_time. */
-    int64_t instanceKey(dfg::NodeId v, int abs_time) const;
+    int64_t instanceKey(dfg::NodeId v, AbsTime abs_time) const;
 
     /** @{ Placement. */
     const Placement &placement(dfg::NodeId v) const { return place[v]; }
@@ -79,7 +86,7 @@ class Mapping
     size_t numPlaced() const { return placedCount; }
 
     /** Place @p v at (@p pe, @p time); v must be currently unplaced. */
-    void placeNode(dfg::NodeId v, int pe, int time);
+    void placeNode(dfg::NodeId v, PeId pe, AbsTime time);
 
     /** Remove @p v's placement; its incident routes must be cleared
      *  first. */
@@ -159,6 +166,11 @@ class Mapping
     /** @} */
 
   private:
+    /** Test-only backdoor (tests/test_verify.cc) that seeds deliberate
+     *  corruption into the internals so the mutation suite can prove the
+     *  verifier catches each class. Never defined in the library. */
+    friend struct MappingTestAccess;
+
     struct InstanceRef
     {
         int64_t key;

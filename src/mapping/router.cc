@@ -45,13 +45,16 @@ collectSeeds(const Mapping &mapping, dfg::NodeId u,
     const auto &dfg = mapping.dfg();
     const Placement &pu = mapping.placement(u);
     seeds.clear();
+    // lint:allow-growth (amortized workspace buffer)
     seeds.push_back(RouteSeed{mapping.mrrg().fuId(pu.pe, pu.time), 0, -1});
     for (dfg::EdgeId e : dfg.outEdges(u)) {
         if (!mapping.isRouted(e))
             continue;
         const auto &path = mapping.route(e);
-        for (size_t i = 0; i < path.size(); ++i)
+        for (size_t i = 0; i < path.size(); ++i) {
+            // lint:allow-growth (amortized workspace buffer)
             seeds.push_back(RouteSeed{path[i], static_cast<int>(i) + 1, e});
+        }
     }
 }
 
@@ -64,6 +67,7 @@ prependSharedPrefix(const Mapping &mapping, dfg::EdgeId parentEdge,
     if (parentEdge < 0 || steps <= 0)
         return;
     const auto &prefix = mapping.route(parentEdge);
+    // lint:allow-growth (amortized workspace buffer)
     path.insert(path.begin(), prefix.begin(), prefix.begin() + steps);
 }
 
@@ -103,7 +107,8 @@ routeTemporal(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
 
     for (int s = 0; s < len; ++s) {
         const int layer_base = ((src.time + s) % ii) * per_layer;
-        const int64_t key = mapping.instanceKey(edge.src, src.time + s + 1);
+        const int64_t key =
+            mapping.instanceKey(edge.src, AbsTime{src.time + s + 1});
         for (int idx = 0; idx < per_layer; ++idx) {
             const double here = ws.dpCostAt(s, idx);
             if (here == kInf)
@@ -142,6 +147,7 @@ routeTemporal(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
     int s = len;
     int idx = best_idx;
     while (s > 0 && ws.dpParentAt(s, idx) != -2) {
+        // lint:allow-growth (amortized workspace buffer)
         result.path.push_back(((src.time + s) % ii) * per_layer + idx);
         idx = ws.dpParentAt(s, idx);
         --s;
@@ -166,7 +172,7 @@ routeSpatial(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
     const auto &mrrg = mapping.mrrg();
     const dfg::Edge &edge = mapping.dfg().edge(e);
     const Placement &dst = mapping.placement(edge.dst);
-    const int64_t key = mapping.instanceKey(edge.src, 0);
+    const int64_t key = mapping.instanceKey(edge.src, AbsTime{0});
 
     ws.beginSpatial(mrrg.numResources());
 
@@ -209,6 +215,7 @@ routeSpatial(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
     result.cost = ws.costOf(found);
     int res = found;
     while (ws.parentOf(res) != -2) {
+        // lint:allow-growth (amortized workspace buffer)
         result.path.push_back(res);
         res = ws.parentOf(res);
     }
@@ -317,6 +324,7 @@ routeAll(Mapping &mapping, const RouterCosts &costs, RouterWorkspace &ws,
     if (edges.empty()) {
         for (dfg::EdgeId e = 0;
              e < static_cast<dfg::EdgeId>(dfg.numEdges()); ++e) {
+            // lint:allow-growth (per-call edge order, outside DP loop)
             edges.push_back(e);
         }
     }

@@ -52,6 +52,7 @@ RouterWorkspace::pushHeap(double c, int res)
 {
     if (heap.size() == heap.capacity())
         ++growthEvents;
+    // lint:allow-growth (amortized heap storage, growth is counted)
     heap.emplace_back(c, res);
     std::push_heap(heap.begin(), heap.end(), HeapGreater{});
 }

@@ -209,6 +209,7 @@ class RouterWorkspace
             return;
         if (v.capacity() < n)
             ++growthEvents;
+        // lint:allow-growth (amortized scratch vector, growth is counted)
         v.resize(n);
     }
 

@@ -9,11 +9,11 @@ Adam::Adam(AdamConfig config) : cfg(config) {}
 void
 Adam::attach(const Module &module)
 {
-    for (const auto &[name, t] : module.parameters()) {
+    for (const auto &[name, param] : module.parameters()) {
         Slot slot;
-        slot.param = t;
-        slot.m.assign(t.size(), 0.0);
-        slot.v.assign(t.size(), 0.0);
+        slot.param = param;
+        slot.m.assign(param.size(), 0.0);
+        slot.v.assign(param.size(), 0.0);
         slots.push_back(std::move(slot));
     }
 }

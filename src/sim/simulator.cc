@@ -238,7 +238,7 @@ simulate(const map::Mapping &mapping, int iterations,
                 const auto &path = mapping.route(e);
                 const int holder =
                     path.empty()
-                        ? mrrg.fuId(mapping.placement(edge.src).pe, 0)
+                        ? mrrg.fuId(mapping.placement(edge.src).pe, AbsTime{0})
                         : path.back();
                 const int arrival =
                     fireCycle(node_time[edge.src], j, ii) +

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Strongly typed index wrappers for the mapper stack.
+ *
+ * The mapper juggles four integer index spaces — PEs, routing resources,
+ * II layers, and absolute schedule times — and the classic latent bug is
+ * passing one where another is expected (`fuId(time, pe)` instead of
+ * `fuId(pe, time)` silently names a different FU whenever both values are
+ * in range). A StrongId is a tagged int32 with *explicit* construction
+ * from int and *implicit* conversion back to int: call sites must name the
+ * index space they mean, while arithmetic, container indexing, and
+ * printing keep working unchanged. Mixing two different tags in one typed
+ * parameter slot is a compile error (a negative try_compile test in
+ * tests/compile_fail/ pins this).
+ */
+
+#ifndef LISA_SUPPORT_STRONG_ID_HH
+#define LISA_SUPPORT_STRONG_ID_HH
+
+#include <compare>
+#include <cstdint>
+
+namespace lisa {
+
+/** Tagged integer id; @p Tag only distinguishes the index space. */
+template <typename Tag>
+class StrongId
+{
+  public:
+    /** Default-constructed ids are the -1 "invalid" sentinel. */
+    constexpr StrongId() = default;
+
+    constexpr explicit StrongId(int v) : id(static_cast<int32_t>(v)) {}
+
+    /** Underlying index, also available through implicit conversion. */
+    constexpr int value() const { return id; }
+
+    /** Implicit read-out: ids index vectors and enter arithmetic as int. */
+    constexpr operator int() const { return id; }
+
+    constexpr auto operator<=>(const StrongId &) const = default;
+
+  private:
+    int32_t id = -1;
+};
+
+/** Processing-element index within an accelerator, [0, numPes). */
+using PeId = StrongId<struct PeIdTag>;
+
+/** Routing-resource index within an MRRG, [0, numResources). */
+using RrId = StrongId<struct RrIdTag>;
+
+/** II layer (time slot) of an MRRG, [0, II). */
+using Layer = StrongId<struct LayerTag>;
+
+/** Absolute schedule time of the time-extended view, [0, horizon). */
+using AbsTime = StrongId<struct AbsTimeTag>;
+
+/**
+ * Routing-resource id known to name an FU (Mrrg::fuId's return type).
+ * Every FU resource is a resource, so FuId converts implicitly to RrId.
+ */
+class FuId : public RrId
+{
+  public:
+    constexpr FuId() = default;
+    constexpr explicit FuId(int v) : RrId(v) {}
+};
+
+} // namespace lisa
+
+#endif // LISA_SUPPORT_STRONG_ID_HH

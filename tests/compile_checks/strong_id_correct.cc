@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Positive control for the strong-index-type compile checks (see
+ * tests/CMakeLists.txt): correctly-ordered calls into the typed MRRG /
+ * Mapping APIs must be invocable. If this control fails to compile, the
+ * companion negative check proves nothing.
+ *
+ * Everything is checked through std::is_invocable so no out-of-line
+ * definition is referenced and try_compile never depends on linking the
+ * library.
+ */
+
+#include <type_traits>
+
+#include "arch/mrrg.hh"
+#include "mapping/mapping.hh"
+
+using lisa::AbsTime;
+using lisa::FuId;
+using lisa::PeId;
+using lisa::RrId;
+using lisa::arch::Mrrg;
+using lisa::map::Mapping;
+
+static_assert(std::is_invocable_v<decltype(&Mrrg::fuId), const Mrrg &,
+                                  PeId, AbsTime>,
+              "fuId(PeId, AbsTime) must be callable");
+static_assert(std::is_invocable_v<decltype(&Mrrg::regId), const Mrrg &,
+                                  PeId, int, AbsTime>,
+              "regId(PeId, int, AbsTime) must be callable");
+static_assert(std::is_invocable_v<decltype(&Mrrg::canFeed), const Mrrg &,
+                                  RrId, PeId, AbsTime>,
+              "canFeed(RrId, PeId, AbsTime) must be callable");
+static_assert(std::is_invocable_v<decltype(&Mrrg::canFeed), const Mrrg &,
+                                  FuId, PeId, AbsTime>,
+              "a FuId is an RrId: derived-to-base must convert");
+static_assert(std::is_invocable_v<decltype(&Mapping::placeNode), Mapping &,
+                                  lisa::dfg::NodeId, PeId, AbsTime>,
+              "placeNode(node, PeId, AbsTime) must be callable");
+// Ids still index and compare like ints (implicit conversion out).
+static_assert(std::is_convertible_v<PeId, int>);
+static_assert(std::is_convertible_v<FuId, int>);
+
+int
+main()
+{
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Negative compile check (see tests/CMakeLists.txt): this file MUST FAIL
+ * to compile. Every static_assert below claims a swapped or untyped
+ * argument order is invocable; with the strong index types doing their
+ * job, none of them is, the asserts fire, and try_compile reports
+ * failure — which the build treats as success.
+ *
+ * If this file ever compiles, PeId/AbsTime/RrId have silently decayed
+ * into interchangeable ints and the whole class of fuId(time, pe) bugs
+ * is back.
+ */
+
+#include <type_traits>
+
+#include "arch/mrrg.hh"
+#include "mapping/mapping.hh"
+
+using lisa::AbsTime;
+using lisa::PeId;
+using lisa::RrId;
+using lisa::arch::Mrrg;
+using lisa::map::Mapping;
+
+static_assert(std::is_invocable_v<decltype(&Mrrg::fuId), const Mrrg &,
+                                  AbsTime, PeId>,
+              "EXPECTED FAILURE: fuId(time, pe) swap must not compile");
+static_assert(std::is_invocable_v<decltype(&Mrrg::fuId), const Mrrg &,
+                                  int, int>,
+              "EXPECTED FAILURE: fuId(int, int) must not compile");
+static_assert(std::is_invocable_v<decltype(&Mapping::placeNode), Mapping &,
+                                  lisa::dfg::NodeId, AbsTime, PeId>,
+              "EXPECTED FAILURE: placeNode(node, time, pe) swap must not "
+              "compile");
+static_assert(std::is_invocable_v<decltype(&Mrrg::canFeed), const Mrrg &,
+                                  PeId, RrId, AbsTime>,
+              "EXPECTED FAILURE: canFeed holder/pe swap must not compile");
+
+int
+main()
+{
+    return 0;
+}

@@ -32,8 +32,8 @@ TEST_F(ConfigTest, ComputeRolesRecorded)
 {
     auto mrrg = std::make_shared<const arch::Mrrg>(*accel, 2);
     map::Mapping m(graph, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 1, 1);
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{1}, AbsTime{1});
     ASSERT_EQ(map::routeAll(m, map::RouterCosts{}), 0);
 
     auto config = sim::extractConfiguration(m);
@@ -49,8 +49,8 @@ TEST_F(ConfigTest, RouteAndRegisterRolesRecorded)
 {
     auto mrrg = std::make_shared<const arch::Mrrg>(*accel, 4);
     map::Mapping m(graph, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 0, 3); // register hold for two cycles
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{0}, AbsTime{3}); // register hold for two cycles
     ASSERT_EQ(map::routeAll(m, map::RouterCosts{}), 0);
 
     auto config = sim::extractConfiguration(m);
@@ -65,8 +65,8 @@ TEST_F(ConfigTest, TextListingMentionsEverything)
 {
     auto mrrg = std::make_shared<const arch::Mrrg>(*accel, 2);
     map::Mapping m(graph, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 1, 1);
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{1}, AbsTime{1});
     ASSERT_EQ(map::routeAll(m, map::RouterCosts{}), 0);
     std::string text = sim::configurationToText(m);
     EXPECT_NE(text.find("II=2"), std::string::npos);

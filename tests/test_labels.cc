@@ -74,10 +74,10 @@ TEST(LabelExtract, ValuesComeFromPlacement)
     auto mrrg = std::make_shared<const arch::Mrrg>(c, 4);
     map::Mapping m(g, mrrg);
     // Hand placement: a(0,0), l(1,1), r(4,1), j(5,2) — all direct feeds.
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 1, 1);
-    m.placeNode(2, 4, 1);
-    m.placeNode(3, 5, 2);
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{1}, AbsTime{1});
+    m.placeNode(2, PeId{4}, AbsTime{1});
+    m.placeNode(3, PeId{5}, AbsTime{2});
     ASSERT_EQ(map::routeAll(m, map::RouterCosts{}), 0);
     ASSERT_TRUE(m.valid());
 
@@ -108,8 +108,8 @@ TEST(LabelExtract, RecurrenceTemporalDistanceIncludesIi)
     arch::CgraArch c(arch::baselineCgra(4, 4));
     auto mrrg = std::make_shared<const arch::Mrrg>(c, 2);
     map::Mapping m(g, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 1, 1);
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{1}, AbsTime{1});
     ASSERT_EQ(map::routeAll(m, map::RouterCosts{}), 0);
     ASSERT_TRUE(m.valid());
     Labels lbl = extractLabels(m, an);

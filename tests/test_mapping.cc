@@ -36,7 +36,7 @@ TEST_F(MappingTest, PlaceAndUnplace)
 {
     Mapping m(graph, mrrg);
     EXPECT_EQ(m.numPlaced(), 0u);
-    m.placeNode(0, 3, 0);
+    m.placeNode(0, PeId{3}, AbsTime{0});
     EXPECT_TRUE(m.isPlaced(0));
     EXPECT_EQ(m.placement(0).pe, 3);
     EXPECT_EQ(m.placement(0).time, 0);
@@ -49,16 +49,16 @@ TEST_F(MappingTest, PlaceAndUnplace)
 TEST_F(MappingTest, OpOccupiesFu)
 {
     Mapping m(graph, mrrg);
-    m.placeNode(0, 3, 0);
-    EXPECT_EQ(m.numInstancesOn(mrrg->fuId(3, 0)), 1);
+    m.placeNode(0, PeId{3}, AbsTime{0});
+    EXPECT_EQ(m.numInstancesOn(mrrg->fuId(PeId{3}, AbsTime{0})), 1);
     EXPECT_EQ(m.totalOveruse(), 0);
 }
 
 TEST_F(MappingTest, TwoOpsOnSameFuIsOveruse)
 {
     Mapping m(graph, mrrg);
-    m.placeNode(0, 3, 0);
-    m.placeNode(1, 3, 2); // time 2 mod II 2 == layer 0: same resource
+    m.placeNode(0, PeId{3}, AbsTime{0});
+    m.placeNode(1, PeId{3}, AbsTime{2}); // time 2 mod II 2 == layer 0: same resource
     EXPECT_EQ(m.totalOveruse(), 1);
     m.unplaceNode(1);
     EXPECT_EQ(m.totalOveruse(), 0);
@@ -67,20 +67,20 @@ TEST_F(MappingTest, TwoOpsOnSameFuIsOveruse)
 TEST_F(MappingTest, RouteOccupancyAndFanoutSharing)
 {
     Mapping m(graph, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 2, 2);
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{2}, AbsTime{2});
     // Route 0 -> 1 through FU(1, layer1).
-    std::vector<int> path{mrrg->fuId(1, 1)};
+    std::vector<int> path{mrrg->fuId(PeId{1}, AbsTime{1})};
     m.setRoute(0, path);
     EXPECT_TRUE(m.isRouted(0));
     EXPECT_EQ(m.totalRouteResources(), 1);
     EXPECT_EQ(m.totalOveruse(), 0);
     // A second route of the same producer at the same step shares freely.
-    EXPECT_TRUE(m.holdsInstance(mrrg->fuId(1, 1), m.instanceKey(0, 1)));
+    EXPECT_TRUE(m.holdsInstance(mrrg->fuId(PeId{1}, AbsTime{1}), m.instanceKey(0, AbsTime{1})));
     m.clearRoute(0);
     EXPECT_FALSE(m.isRouted(0));
     EXPECT_EQ(m.totalRouteResources(), 0);
-    EXPECT_EQ(m.numInstancesOn(mrrg->fuId(1, 1)), 0);
+    EXPECT_EQ(m.numInstancesOn(mrrg->fuId(PeId{1}, AbsTime{1})), 0);
 }
 
 TEST_F(MappingTest, SameValueDifferentIterationConflicts)
@@ -88,11 +88,11 @@ TEST_F(MappingTest, SameValueDifferentIterationConflicts)
     // Holding one datum across more than one II window must conflict with
     // the next iteration's instance (modulo semantics).
     Mapping m(graph, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 0, 3); // requires 2 intermediate holders (t=1, t=2)
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{0}, AbsTime{3}); // requires 2 intermediate holders (t=1, t=2)
     ASSERT_EQ(m.requiredLength(0), 2);
     // Hold in the same register at t=1 and t=2: layer 1 then layer 0.
-    std::vector<int> path{mrrg->regId(0, 0, 1), mrrg->regId(0, 0, 2)};
+    std::vector<int> path{mrrg->regId(PeId{0}, 0, AbsTime{1}), mrrg->regId(PeId{0}, 0, AbsTime{2})};
     m.setRoute(0, path);
     EXPECT_EQ(m.totalOveruse(), 0); // different layers: no conflict
     m.clearRoute(0);
@@ -100,10 +100,10 @@ TEST_F(MappingTest, SameValueDifferentIterationConflicts)
     // Now a contrived route that revisits the same layer with a different
     // step (same producer, different absolute time) must count overuse.
     m.unplaceNode(1);
-    m.placeNode(1, 0, 5); // length 4: t=1..4; t=1 and t=3 share layer 1
+    m.placeNode(1, PeId{0}, AbsTime{5}); // length 4: t=1..4; t=1 and t=3 share layer 1
     ASSERT_EQ(m.requiredLength(0), 4);
-    std::vector<int> longpath{mrrg->regId(0, 0, 1), mrrg->regId(0, 0, 2),
-                              mrrg->regId(0, 0, 3), mrrg->regId(0, 0, 4)};
+    std::vector<int> longpath{mrrg->regId(PeId{0}, 0, AbsTime{1}), mrrg->regId(PeId{0}, 0, AbsTime{2}),
+                              mrrg->regId(PeId{0}, 0, AbsTime{3}), mrrg->regId(PeId{0}, 0, AbsTime{4})};
     m.setRoute(0, longpath);
     EXPECT_EQ(m.totalOveruse(), 2); // (t1,t3) on layer1 and (t2,t4) on layer0
 }
@@ -111,14 +111,14 @@ TEST_F(MappingTest, SameValueDifferentIterationConflicts)
 TEST_F(MappingTest, RequiredLengthFollowsTimes)
 {
     Mapping m(graph, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 1, 1);
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{1}, AbsTime{1});
     EXPECT_EQ(m.requiredLength(0), 0);
     m.unplaceNode(1);
-    m.placeNode(1, 1, 4);
+    m.placeNode(1, PeId{1}, AbsTime{4});
     EXPECT_EQ(m.requiredLength(0), 3);
     m.unplaceNode(1);
-    m.placeNode(1, 1, 0); // before producer: infeasible
+    m.placeNode(1, PeId{1}, AbsTime{0}); // before producer: infeasible
     EXPECT_LT(m.requiredLength(0), 0);
 }
 
@@ -126,9 +126,9 @@ TEST_F(MappingTest, ValidNeedsEverything)
 {
     Mapping m(graph, mrrg);
     EXPECT_FALSE(m.valid());
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 1, 1);
-    m.placeNode(2, 2, 2);
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{1}, AbsTime{1});
+    m.placeNode(2, PeId{2}, AbsTime{2});
     EXPECT_FALSE(m.valid()); // edges not routed
     m.setRoute(0, {});       // 0 at t0 feeds 1 at t1 directly
     m.setRoute(1, {});       // 1 at t1 feeds 2 at t2 directly
@@ -138,11 +138,11 @@ TEST_F(MappingTest, ValidNeedsEverything)
 TEST_F(MappingTest, ClearResetsEverything)
 {
     Mapping m(graph, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 1, 1);
-    m.placeNode(2, 2, 2);
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{1}, AbsTime{1});
+    m.placeNode(2, PeId{2}, AbsTime{2});
     m.setRoute(0, {});
-    m.setRoute(1, {mrrg->fuId(3, 0)});
+    m.setRoute(1, {mrrg->fuId(PeId{3}, AbsTime{0})});
     m.clear();
     EXPECT_EQ(m.numPlaced(), 0u);
     EXPECT_EQ(m.numRouted(), 0u);
@@ -155,8 +155,8 @@ TEST_F(MappingTest, ClearResetsEverything)
 TEST_F(MappingTest, UnplaceWithRoutedEdgePanics)
 {
     Mapping m(graph, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 1, 1);
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{1}, AbsTime{1});
     m.setRoute(0, {});
     EXPECT_DEATH(m.unplaceNode(0), "routed");
 }
@@ -164,8 +164,8 @@ TEST_F(MappingTest, UnplaceWithRoutedEdgePanics)
 TEST_F(MappingTest, ValuesOnDecodesProducers)
 {
     Mapping m(graph, mrrg);
-    m.placeNode(0, 0, 0);
-    auto values = m.valuesOn(mrrg->fuId(0, 0));
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    auto values = m.valuesOn(mrrg->fuId(PeId{0}, AbsTime{0}));
     ASSERT_EQ(values.size(), 1u);
     EXPECT_EQ(values[0], 0);
 }

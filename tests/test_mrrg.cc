@@ -10,6 +10,7 @@
 
 namespace {
 
+using namespace lisa;
 using namespace lisa::arch;
 
 TEST(Mrrg, ResourceCounts)
@@ -28,13 +29,13 @@ TEST(Mrrg, IdsRoundTrip)
     Mrrg m(c, 2);
     for (int t = 0; t < 2; ++t) {
         for (int pe = 0; pe < 16; ++pe) {
-            int fu = m.fuId(pe, t);
+            int fu = m.fuId(PeId{pe}, AbsTime{t});
             EXPECT_EQ(m.resource(fu).kind, ResourceKind::Fu);
             EXPECT_EQ(m.resource(fu).pe, pe);
             EXPECT_EQ(m.resource(fu).time, t);
             EXPECT_EQ(m.layerOfResource(fu), t);
             for (int k = 0; k < 4; ++k) {
-                int rg = m.regId(pe, k, t);
+                int rg = m.regId(PeId{pe}, k, AbsTime{t});
                 EXPECT_EQ(m.resource(rg).kind, ResourceKind::Reg);
                 EXPECT_EQ(m.resource(rg).pe, pe);
                 EXPECT_EQ(m.resource(rg).reg, k);
@@ -48,16 +49,16 @@ TEST(Mrrg, TimeWrapsModuloIi)
 {
     CgraArch c(baselineCgra(4, 4));
     Mrrg m(c, 2);
-    EXPECT_EQ(m.fuId(3, 0), m.fuId(3, 2));
-    EXPECT_EQ(m.fuId(3, 1), m.fuId(3, 5));
-    EXPECT_EQ(m.regId(3, 1, 0), m.regId(3, 1, 4));
+    EXPECT_EQ(m.fuId(PeId{3}, AbsTime{0}), m.fuId(PeId{3}, AbsTime{2}));
+    EXPECT_EQ(m.fuId(PeId{3}, AbsTime{1}), m.fuId(PeId{3}, AbsTime{5}));
+    EXPECT_EQ(m.regId(PeId{3}, 1, AbsTime{0}), m.regId(PeId{3}, 1, AbsTime{4}));
 }
 
 TEST(Mrrg, MoveTargetsAdvanceOneLayer)
 {
     CgraArch c(baselineCgra(4, 4));
     Mrrg m(c, 3);
-    int fu = m.fuId(5, 0);
+    int fu = m.fuId(PeId{5}, AbsTime{0});
     for (int next : m.resource(fu).moveTargets) {
         EXPECT_EQ(m.layerOfResource(next), 1);
         const Resource &r = m.resource(next);
@@ -79,7 +80,7 @@ TEST(Mrrg, FeedersComeFromPreviousLayer)
 {
     CgraArch c(baselineCgra(4, 4));
     Mrrg m(c, 3);
-    for (int res : m.feeders(5, 2)) {
+    for (int res : m.feeders(PeId{5}, AbsTime{2})) {
         EXPECT_EQ(m.layerOfResource(res), 1);
         const Resource &r = m.resource(res);
         bool same_pe = r.pe == 5;
@@ -89,17 +90,17 @@ TEST(Mrrg, FeedersComeFromPreviousLayer)
         EXPECT_TRUE(same_pe || neighbour);
     }
     // Own PE + 4 neighbours, each with 1 FU + 4 regs.
-    EXPECT_EQ(m.feeders(5, 2).size(), 5u * 5u);
+    EXPECT_EQ(m.feeders(PeId{5}, AbsTime{2}).size(), 5u * 5u);
 }
 
 TEST(Mrrg, CanFeedMatchesFeederList)
 {
     CgraArch c(baselineCgra(4, 4));
     Mrrg m(c, 2);
-    int own_prev = m.fuId(5, 0);
-    EXPECT_TRUE(m.canFeed(own_prev, 5, 1));
-    int far = m.fuId(15, 0);
-    EXPECT_FALSE(m.canFeed(far, 0, 1));
+    int own_prev = m.fuId(PeId{5}, AbsTime{0});
+    EXPECT_TRUE(m.canFeed(RrId{own_prev}, PeId{5}, AbsTime{1}));
+    int far = m.fuId(PeId{15}, AbsTime{0});
+    EXPECT_FALSE(m.canFeed(RrId{far}, PeId{0}, AbsTime{1}));
 }
 
 TEST(Mrrg, SystolicSingleLayerNoRegs)
@@ -109,13 +110,13 @@ TEST(Mrrg, SystolicSingleLayerNoRegs)
     EXPECT_EQ(m.perLayerCount(), 25);
     EXPECT_EQ(m.numResources(), 25);
     // Moves stay in layer 0 and follow the E/N/S links.
-    int fu = m.fuId(6, 0);
+    int fu = m.fuId(PeId{6}, AbsTime{0});
     for (int next : m.resource(fu).moveTargets) {
         EXPECT_EQ(m.layerOfResource(next), 0);
         EXPECT_EQ(m.resource(next).kind, ResourceKind::Fu);
     }
     // Feeders of a middle PE: linked sources only (not itself).
-    for (int res : m.feeders(6, 0)) {
+    for (int res : m.feeders(PeId{6}, AbsTime{0})) {
         EXPECT_NE(m.resource(res).pe, 6);
     }
 }

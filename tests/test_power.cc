@@ -19,8 +19,8 @@ chainMapping(const dfg::Dfg &g, const arch::CgraArch &c, int ii,
 {
     auto mrrg = std::make_shared<const arch::Mrrg>(c, ii);
     map::Mapping m(g, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 1, consumer_time);
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{1}, AbsTime{consumer_time});
     EXPECT_EQ(map::routeAll(m, map::RouterCosts{}), 0);
     EXPECT_TRUE(m.valid());
     return m;

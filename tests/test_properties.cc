@@ -50,7 +50,7 @@ checkMappingInvariants(const map::Mapping &m)
         int arrival = mrrg.accel().temporalMapping()
                           ? src.time + m.requiredLength(eid)
                           : 0;
-        int64_t key = m.instanceKey(edge.src, arrival);
+        int64_t key = m.instanceKey(edge.src, AbsTime{arrival});
         bool fed = false;
         for (int holder : mrrg.feeders(dst.pe, dst.time))
             if (m.holdsInstance(holder, key))
@@ -61,8 +61,7 @@ checkMappingInvariants(const map::Mapping &m)
         // 3. The path starts at the producer and every hop follows a
         //    legal move edge.
         if (!path.empty()) {
-            int producer = mrrg.fuId(m.placement(edge.src).pe,
-                                     m.placement(edge.src).time);
+            int producer = mrrg.fuId(m.placement(edge.src).pe, m.placement(edge.src).time);
             const auto &t0 = mrrg.resource(producer).moveTargets;
             EXPECT_NE(std::find(t0.begin(), t0.end(), path[0]), t0.end())
                 << "first hop unreachable from producer";
@@ -227,8 +226,7 @@ checkAccumulatorsAgainstRebuild(const map::Mapping &m)
     for (size_t v = 0; v < m.dfg().numNodes(); ++v) {
         auto vid = static_cast<dfg::NodeId>(v);
         if (m.isPlaced(vid))
-            fresh.placeNode(vid, m.placement(vid).pe,
-                            m.placement(vid).time);
+            fresh.placeNode(vid, m.placement(vid).pe, m.placement(vid).time);
     }
     for (size_t e = 0; e < m.dfg().numEdges(); ++e) {
         auto eid = static_cast<dfg::EdgeId>(e);
@@ -270,8 +268,7 @@ randomMappingOp(map::Mapping &m, const dfg::Analysis &an, Rng &rng)
         if (cands.empty())
             return;
         dfg::NodeId v = pickFrom(cands);
-        m.placeNode(v, rng.uniformInt(0, num_pes - 1),
-                    an.asap(v) + rng.uniformInt(0, 2));
+        m.placeNode(v, PeId{rng.uniformInt(0, num_pes - 1)}, AbsTime{an.asap(v) + rng.uniformInt(0, 2)});
         break;
     }
     case 1: { // unplace a node, ripping up its incident routes first

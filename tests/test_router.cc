@@ -29,8 +29,8 @@ TEST(Router, DirectFeedNeedsNoResources)
     auto mrrg = std::make_shared<const arch::Mrrg>(c, 2);
     dfg::Dfg g = chain2();
     Mapping m(g, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 1, 1); // adjacent, one cycle later
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{1}, AbsTime{1}); // adjacent, one cycle later
     auto r = routeEdge(m, 0, RouterCosts{});
     ASSERT_TRUE(r.has_value());
     EXPECT_TRUE(r->path.empty());
@@ -43,8 +43,8 @@ TEST(Router, OneHopThroughRouteThrough)
     auto mrrg = std::make_shared<const arch::Mrrg>(c, 4);
     dfg::Dfg g = chain2();
     Mapping m(g, mrrg);
-    m.placeNode(0, 0, 0);  // (0,0)
-    m.placeNode(1, 2, 2);  // two hops east, two cycles later
+    m.placeNode(0, PeId{0}, AbsTime{0});  // (0,0)
+    m.placeNode(1, PeId{2}, AbsTime{2});  // two hops east, two cycles later
     ASSERT_EQ(m.requiredLength(0), 1);
     auto r = routeEdge(m, 0, RouterCosts{});
     ASSERT_TRUE(r.has_value());
@@ -62,8 +62,8 @@ TEST(Router, RegisterHoldWhenConsumerIsLate)
     auto mrrg = std::make_shared<const arch::Mrrg>(c, 8);
     dfg::Dfg g = chain2();
     Mapping m(g, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 0, 4); // same PE, 4 cycles later: hold 3 cycles
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{0}, AbsTime{4}); // same PE, 4 cycles later: hold 3 cycles
     ASSERT_EQ(m.requiredLength(0), 3);
     auto r = routeEdge(m, 0, RouterCosts{});
     ASSERT_TRUE(r.has_value());
@@ -79,8 +79,8 @@ TEST(Router, NegativeLengthFails)
     auto mrrg = std::make_shared<const arch::Mrrg>(c, 2);
     dfg::Dfg g = chain2();
     Mapping m(g, mrrg);
-    m.placeNode(0, 0, 3);
-    m.placeNode(1, 1, 1); // consumer before producer
+    m.placeNode(0, PeId{0}, AbsTime{3});
+    m.placeNode(1, PeId{1}, AbsTime{1}); // consumer before producer
     EXPECT_FALSE(routeEdge(m, 0, RouterCosts{}).has_value());
 }
 
@@ -97,9 +97,9 @@ TEST(Router, StrictModeBlocksOccupied)
     dfg::Dfg g = b.build();
 
     Mapping m(g, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(2, 1, 1); // occupies the corridor's middle FU at layer 1
-    m.placeNode(1, 2, 2); // 0 -> 1 must route through the middle at layer 1
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(2, PeId{1}, AbsTime{1}); // occupies the corridor's middle FU at layer 1
+    m.placeNode(1, PeId{2}, AbsTime{2}); // 0 -> 1 must route through the middle at layer 1
 
     RouterCosts strict;
     strict.allowOveruse = false;
@@ -127,9 +127,9 @@ TEST(Router, FanoutReusesExistingRoute)
     dfg::Dfg g = b.build();
 
     Mapping m(g, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 0, 3);
-    m.placeNode(2, 0, 3);
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{0}, AbsTime{3});
+    m.placeNode(2, PeId{0}, AbsTime{3});
     auto r1 = routeEdge(m, 0, RouterCosts{});
     ASSERT_TRUE(r1.has_value());
     EXPECT_EQ(r1->path.size(), 2u);
@@ -157,8 +157,8 @@ TEST(Router, SelfRecurrenceAtIiOne)
     b.recurrence(acc, acc);
     dfg::Dfg g = b.build();
     Mapping m(g, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 1, 1);
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{1}, AbsTime{1});
     // The self edge (distance 1, II 1) has length 0: own output read back.
     auto r = routeEdge(m, 1, RouterCosts{});
     ASSERT_TRUE(r.has_value());
@@ -172,8 +172,8 @@ TEST(Router, SpatialDijkstraFindsForwardingChain)
     dfg::Dfg g = chain2();
     Mapping m(g, mrrg);
     // Load in column 0, consumer in column 3: two forwarding PEs needed.
-    m.placeNode(0, 0, 0);      // (0,0)
-    m.placeNode(1, 3, 0);      // (0,3)
+    m.placeNode(0, PeId{0}, AbsTime{0});      // (0,0)
+    m.placeNode(1, PeId{3}, AbsTime{0});      // (0,3)
     auto r = routeEdge(m, 0, RouterCosts{});
     ASSERT_TRUE(r.has_value());
     EXPECT_EQ(r->path.size(), 2u);
@@ -185,8 +185,8 @@ TEST(Router, SpatialAdjacentDirectFeed)
     auto mrrg = std::make_shared<const arch::Mrrg>(s, 1);
     dfg::Dfg g = chain2();
     Mapping m(g, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 1, 0); // east neighbour
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{1}, AbsTime{0}); // east neighbour
     auto r = routeEdge(m, 0, RouterCosts{});
     ASSERT_TRUE(r.has_value());
     EXPECT_TRUE(r->path.empty());
@@ -198,8 +198,8 @@ TEST(RouteAll, ReportsFailures)
     auto mrrg = std::make_shared<const arch::Mrrg>(c, 2);
     dfg::Dfg g = chain2();
     Mapping m(g, mrrg);
-    m.placeNode(0, 0, 3);
-    m.placeNode(1, 1, 1); // infeasible order
+    m.placeNode(0, PeId{0}, AbsTime{3});
+    m.placeNode(1, PeId{1}, AbsTime{1}); // infeasible order
     EXPECT_EQ(routeAll(m, RouterCosts{}), 1);
     EXPECT_EQ(m.numRouted(), 0u);
 }
@@ -210,8 +210,8 @@ TEST(RerouteIncident, RipUpAndReroute)
     auto mrrg = std::make_shared<const arch::Mrrg>(c, 4);
     dfg::Dfg g = chain2();
     Mapping m(g, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 1, 1);
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{1}, AbsTime{1});
     EXPECT_EQ(routeAll(m, RouterCosts{}), 0);
     EXPECT_EQ(rerouteIncident(m, 1, RouterCosts{}), 0);
     EXPECT_TRUE(m.isRouted(0));
@@ -232,8 +232,8 @@ TEST(RerouteIncident, SelfLoopRoutedOnceSpatial)
     b.recurrence(acc, acc); // edge 1: accumulator feedback self-loop
     dfg::Dfg g = b.build();
     Mapping m(g, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 1, 0);
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{1}, AbsTime{0});
     ASSERT_EQ(routeAll(m, RouterCosts{}), 0);
     EXPECT_EQ(rerouteIncident(m, 1, RouterCosts{}), 0);
     EXPECT_TRUE(m.isRouted(0));
@@ -254,8 +254,8 @@ TEST(RerouteIncident, SelfLoopRoutedOnceTemporal)
     b.recurrence(acc, acc);
     dfg::Dfg g = b.build();
     Mapping m(g, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 1, 1);
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{1}, AbsTime{1});
     ASSERT_EQ(routeAll(m, RouterCosts{}), 0);
     EXPECT_EQ(rerouteIncident(m, 1, RouterCosts{}), 0);
     EXPECT_TRUE(m.isRouted(0));

@@ -30,7 +30,7 @@ placeRandom(Mapping &m, Rng &rng)
                        ? static_cast<int>(rng.index(
                              static_cast<size_t>(m.horizon())))
                        : 0;
-        m.placeNode(v, pe, time);
+        m.placeNode(v, PeId{pe}, AbsTime{time});
     }
 }
 

@@ -193,8 +193,8 @@ TEST(FeasibleWindow, TracksPlacedNeighbours)
     dfg::Analysis an(g);
     auto mrrg = std::make_shared<const arch::Mrrg>(c, 2);
     Mapping m(g, mrrg);
-    m.placeNode(0, 0, 2);
-    m.placeNode(2, 3, 6);
+    m.placeNode(0, PeId{0}, AbsTime{2});
+    m.placeNode(2, PeId{3}, AbsTime{6});
     TimeWindow w = feasibleWindow(m, an, 1);
     EXPECT_EQ(w.lo, 3);
     EXPECT_EQ(w.hi, 5);
@@ -212,7 +212,7 @@ TEST(FeasibleWindow, RecurrenceRelaxesBound)
     dfg::Analysis an(g);
     auto mrrg = std::make_shared<const arch::Mrrg>(c, 2);
     Mapping m(g, mrrg);
-    m.placeNode(0, 0, 0);
+    m.placeNode(0, PeId{0}, AbsTime{0});
     TimeWindow w = feasibleWindow(m, an, 1);
     EXPECT_EQ(w.lo, 1);
     EXPECT_TRUE(w.valid());

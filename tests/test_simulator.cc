@@ -61,10 +61,10 @@ TEST(Simulator, HandMappedChainComputesAndDelivers)
 
     auto mrrg = std::make_shared<const arch::Mrrg>(c, 2);
     map::Mapping mapping(g, mrrg);
-    mapping.placeNode(0, 0, 0);
-    mapping.placeNode(1, 1, 0);
-    mapping.placeNode(2, 1, 1);
-    mapping.placeNode(3, 2, 2);
+    mapping.placeNode(0, PeId{0}, AbsTime{0});
+    mapping.placeNode(1, PeId{1}, AbsTime{0});
+    mapping.placeNode(2, PeId{1}, AbsTime{1});
+    mapping.placeNode(3, PeId{2}, AbsTime{2});
     ASSERT_EQ(map::routeAll(mapping, map::RouterCosts{}), 0);
     ASSERT_TRUE(mapping.valid());
 
@@ -129,10 +129,10 @@ TEST(Simulator, DetectsCorruptedRoute)
 
     auto mrrg = std::make_shared<const arch::Mrrg>(c, 4);
     map::Mapping mapping(g, mrrg);
-    mapping.placeNode(0, 0, 0);
-    mapping.placeNode(1, 2, 2); // needs one hop through (pe1, t1)
+    mapping.placeNode(0, PeId{0}, AbsTime{0});
+    mapping.placeNode(1, PeId{2}, AbsTime{2}); // needs one hop through (pe1, t1)
     // Deliberately corrupt: "route" through a far-away FU instead.
-    mapping.setRoute(0, {mrrg->fuId(15, 1)});
+    mapping.setRoute(0, {mrrg->fuId(PeId{15}, AbsTime{1})});
     ASSERT_TRUE(mapping.valid()); // structurally consistent occupancy
     auto result = sim::simulate(mapping, 2);
     EXPECT_FALSE(result.ok);

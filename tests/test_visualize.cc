@@ -24,8 +24,8 @@ tinyMapping(const arch::CgraArch &accel)
     }();
     auto mrrg = std::make_shared<const arch::Mrrg>(accel, 2);
     map::Mapping m(graph, mrrg);
-    m.placeNode(0, 0, 0);
-    m.placeNode(1, 0, 3); // register holds for two cycles
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{0}, AbsTime{3}); // register holds for two cycles
     EXPECT_EQ(map::routeAll(m, map::RouterCosts{}), 0);
     EXPECT_TRUE(m.valid());
     return m;

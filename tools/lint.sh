@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Zero-allocation lint for the router hot path.
+#
+# The inner routing loops (routeEdge and the structures it touches) must
+# not allocate: RouterWorkspace exists precisely so per-edge routing
+# reuses epoch-stamped scratch storage. This script fails the build when
+#
+#   1. a raw heap allocation (new / make_unique / make_shared / malloc /
+#      calloc / realloc) appears anywhere in a hot-path file, or
+#   2. a container-growth call (push_back / emplace_back / insert /
+#      resize / assign / reserve on a member vector) appears on a line
+#      that is not annotated with `lint:allow-growth` on the same or the
+#      preceding line.
+#
+# The allow marker is reserved for amortized workspace buffers whose
+# growth is tracked by RouterWorkspace::growthEvents and settles after
+# warm-up. Anything else — in particular a per-edge push_back into a
+# fresh vector — is a hot-loop allocation and must be rewritten against
+# the workspace.
+#
+# Pure grep on purpose: runs in any container, no clang tooling needed.
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+HOT_FILES=(
+    src/mapping/router.cc
+    src/mapping/router_workspace.cc
+    src/mapping/router_workspace.hh
+)
+
+ALLOC_RE='(^|[^[:alnum:]_."])new[[:space:]]|std::make_unique|std::make_shared|[^[:alnum:]_]malloc[[:space:]]*\(|[^[:alnum:]_]calloc[[:space:]]*\(|[^[:alnum:]_]realloc[[:space:]]*\('
+GROWTH_RE='\.(push_back|emplace_back|insert|resize|assign|reserve)[[:space:]]*\('
+ALLOW_MARK='lint:allow-growth'
+
+fail=0
+
+for f in "${HOT_FILES[@]}"; do
+    if [ ! -f "$f" ]; then
+        echo "lint.sh: missing hot-path file $f (update HOT_FILES?)" >&2
+        fail=1
+        continue
+    fi
+
+    # Rule 1: no raw heap allocation at all.
+    if grep -nE "$ALLOC_RE" "$f"; then
+        echo "lint.sh: FAIL: raw heap allocation in router hot path: $f" >&2
+        fail=1
+    fi
+
+    # Rule 2: container growth only on allow-marked lines.
+    # A marker counts when it is on the matching line or the line above.
+    while IFS=: read -r lineno line; do
+        [ -n "$lineno" ] || continue
+        if printf '%s' "$line" | grep -q "$ALLOW_MARK"; then
+            continue
+        fi
+        prev=$((lineno - 1))
+        if [ "$prev" -ge 1 ] &&
+           sed -n "${prev}p" "$f" | grep -q "$ALLOW_MARK"; then
+            continue
+        fi
+        echo "lint.sh: FAIL: unannotated container growth at $f:$lineno:" >&2
+        echo "    $line" >&2
+        echo "    (use RouterWorkspace scratch storage, or annotate an" >&2
+        echo "     amortized buffer with '// $ALLOW_MARK (reason)')" >&2
+        fail=1
+    done < <(grep -nE "$GROWTH_RE" "$f")
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "lint.sh: router hot-path lint FAILED" >&2
+    exit 1
+fi
+echo "lint.sh: router hot-path lint OK (${#HOT_FILES[@]} files)"
