@@ -1,18 +1,24 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the hot primitives: DFG analysis,
- * attribute generation, MRRG construction, single-edge routing, and one
- * GNN forward pass.
+ * attribute generation, MRRG construction, single-edge routing, router
+ * churn (the SA/LISA inner loop), and one GNN forward pass.
+ *
+ * Compiled twice: as `micro_kernels` (everything) and as `router_bench`
+ * (LISA_ROUTER_BENCH_ONLY defined — just the router-churn benchmarks,
+ * reporting routes/s plus the pqPops/relaxations/prune counters).
  */
 
 #include <benchmark/benchmark.h>
 
 #include "arch/cgra.hh"
+#include "arch/systolic.hh"
 #include "dfg/analysis.hh"
 #include "dfg/generator.hh"
 #include "gnn/attributes.hh"
 #include "gnn/schedule_order_net.hh"
 #include "mapping/router.hh"
+#include "mapping/router_workspace.hh"
 #include "workloads/registry.hh"
 
 namespace {
@@ -28,6 +34,97 @@ randomGraph(int nodes, uint64_t seed)
     cfg.maxNodes = nodes;
     return dfg::generateRandomDfg(cfg, rng);
 }
+
+/** One place-and-route-everything round: the mapper inner loop without
+ *  the annealer. Returns the number of successfully routed edges. */
+uint64_t
+routeChurnRound(const dfg::Dfg &g, std::shared_ptr<const arch::Mrrg> mrrg,
+                uint64_t seed, map::RouterWorkspace &ws)
+{
+    map::Mapping m(g, mrrg);
+    Rng rng(seed);
+    const bool temporal = mrrg->accel().temporalMapping();
+    const int pes = mrrg->accel().numPes();
+    for (dfg::NodeId v = 0; v < static_cast<dfg::NodeId>(g.numNodes()); ++v) {
+        const int pe = static_cast<int>(rng.index(static_cast<size_t>(pes)));
+        const int time =
+            temporal
+                ? static_cast<int>(rng.index(static_cast<size_t>(m.horizon())))
+                : 0;
+        m.placeNode(v, PeId{pe}, AbsTime{time});
+    }
+    uint64_t routed = 0;
+    for (dfg::EdgeId e = 0; e < static_cast<dfg::EdgeId>(g.numEdges()); ++e) {
+        const map::RouteResult *r =
+            map::routeEdge(m, e, map::RouterCosts{}, ws);
+        if (r) {
+            m.setRoute(e, r->path);
+            ++routed;
+        }
+    }
+    return routed;
+}
+
+/** Publish routes/s plus the router's search-effort counters. */
+void
+reportRouterCounters(benchmark::State &state, const map::RouterWorkspace &ws,
+                     uint64_t routed)
+{
+    using benchmark::Counter;
+    state.counters["routes/s"] =
+        Counter(static_cast<double>(routed), Counter::kIsRate);
+    state.counters["routeCalls/s"] =
+        Counter(static_cast<double>(ws.counters.routeEdgeCalls),
+                Counter::kIsRate);
+    state.counters["pqPops"] =
+        Counter(static_cast<double>(ws.counters.pqPops), Counter::kIsRate);
+    state.counters["relaxations"] = Counter(
+        static_cast<double>(ws.counters.relaxations), Counter::kIsRate);
+    state.counters["heuristicPrunes"] = Counter(
+        static_cast<double>(ws.counters.heuristicPrunes), Counter::kIsRate);
+    state.counters["dpCellsSkipped"] = Counter(
+        static_cast<double>(ws.counters.dpCellsSkipped), Counter::kIsRate);
+}
+
+/** Router churn on a temporal CGRA. Range: II, then 0 = optimized
+ *  (A* + oracle pruning) / 1 = LISA_ROUTER_REFERENCE algorithm. */
+void
+BM_RouterChurnTemporal(benchmark::State &state)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto mrrg =
+        std::make_shared<const arch::Mrrg>(c, static_cast<int>(state.range(0)));
+    dfg::Dfg g = randomGraph(16, 7);
+    map::RouterWorkspace ws;
+    ws.referenceMode = state.range(1) != 0;
+    uint64_t seed = 1, routed = 0;
+    for (auto _ : state)
+        routed += routeChurnRound(g, mrrg, seed++, ws);
+    reportRouterCounters(state, ws, routed);
+}
+BENCHMARK(BM_RouterChurnTemporal)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1});
+
+/** Router churn on a spatial systolic array (same ranges, II pinned). */
+void
+BM_RouterChurnSpatial(benchmark::State &state)
+{
+    arch::SystolicArch s(4, 6);
+    auto mrrg = std::make_shared<const arch::Mrrg>(s, 1);
+    dfg::Dfg g = randomGraph(16, 9);
+    map::RouterWorkspace ws;
+    ws.referenceMode = state.range(0) != 0;
+    uint64_t seed = 1, routed = 0;
+    for (auto _ : state)
+        routed += routeChurnRound(g, mrrg, seed++, ws);
+    reportRouterCounters(state, ws, routed);
+}
+BENCHMARK(BM_RouterChurnSpatial)->Arg(0)->Arg(1);
+
+#ifndef LISA_ROUTER_BENCH_ONLY
 
 void
 BM_Analysis(benchmark::State &state)
@@ -98,5 +195,7 @@ BM_GnnForward(benchmark::State &state)
     }
 }
 BENCHMARK(BM_GnnForward)->Arg(16)->Arg(32);
+
+#endif // LISA_ROUTER_BENCH_ONLY
 
 } // namespace

@@ -50,14 +50,18 @@ Accelerator::spatialDistance(int pe_a, int pe_b) const
     return manhattan(coords[pe_a], coords[pe_b]);
 }
 
-std::vector<int>
+const std::vector<int> &
 Accelerator::opCapablePes(dfg::OpCode op) const
 {
-    std::vector<int> out;
-    for (int pe = 0; pe < numPes(); ++pe)
-        if (supportsOp(pe, op))
-            out.push_back(pe);
-    return out;
+    std::call_once(capableOnce, [this] {
+        for (int o = 0; o < dfg::kNumOpCodes; ++o) {
+            auto &list = capablePes[static_cast<size_t>(o)];
+            for (int pe = 0; pe < numPes(); ++pe)
+                if (supportsOp(pe, static_cast<dfg::OpCode>(o)))
+                    list.push_back(pe);
+        }
+    });
+    return capablePes[static_cast<size_t>(op)];
 }
 
 } // namespace lisa::arch

@@ -11,6 +11,8 @@
 #ifndef LISA_ARCH_ACCELERATOR_HH
 #define LISA_ARCH_ACCELERATOR_HH
 
+#include <array>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -74,8 +76,16 @@ class Accelerator
     /** Spatial distance used by the distance labels (Manhattan on grids). */
     virtual int spatialDistance(int pe_a, int pe_b) const;
 
-    /** PEs able to execute @p op (helper for placement candidates). */
-    std::vector<int> opCapablePes(dfg::OpCode op) const;
+    /**
+     * PEs able to execute @p op (helper for placement candidates).
+     *
+     * Memoized: the first call builds the table for every opcode in one
+     * pass (under a once_flag — accelerators are shared across portfolio
+     * streams) and later calls return the cached vector by reference.
+     * supportsOp must therefore stay constant after construction, which
+     * every accelerator model satisfies.
+     */
+    const std::vector<int> &opCapablePes(dfg::OpCode op) const;
 
   protected:
     Accelerator(std::string name, std::vector<PeCoord> pe_coords);
@@ -88,6 +98,10 @@ class Accelerator
     std::vector<PeCoord> coords;
     std::vector<std::vector<int>> outLinks;
     std::vector<std::vector<int>> inLinks;
+
+    /** Lazily-built per-op capable-PE lists (see opCapablePes). */
+    mutable std::once_flag capableOnce;
+    mutable std::array<std::vector<int>, dfg::kNumOpCodes> capablePes;
 };
 
 } // namespace lisa::arch

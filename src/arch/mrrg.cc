@@ -1,13 +1,26 @@
 #include "arch/mrrg.hh"
 
 #include <algorithm>
+#include <atomic>
 
 #include "support/logging.hh"
 
 namespace lisa::arch {
 
+namespace {
+
+uint64_t
+nextUid()
+{
+    static std::atomic<uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+} // namespace
+
 Mrrg::Mrrg(const Accelerator &accel, int ii)
-    : arch(&accel), numLayers(ii), regsPerPe(accel.registersPerPe())
+    : arch(&accel), uidValue(nextUid()), numLayers(ii),
+      regsPerPe(accel.registersPerPe())
 {
     if (!accel.temporalMapping() && ii != 1)
         fatal("spatial-only accelerator requires II == 1");
@@ -17,7 +30,9 @@ Mrrg::Mrrg(const Accelerator &accel, int ii)
 
     const int pes = accel.numPes();
     perLayer = pes * (1 + regsPerPe);
-    resources.resize(static_cast<size_t>(perLayer) * numLayers);
+    const int total = perLayer * numLayers;
+    resources.resize(static_cast<size_t>(total));
+    kinds.resize(static_cast<size_t>(total));
 
     for (int t = 0; t < numLayers; ++t) {
         for (int pe = 0; pe < pes; ++pe) {
@@ -35,41 +50,64 @@ Mrrg::Mrrg(const Accelerator &accel, int ii)
             }
         }
     }
+    for (int id = 0; id < total; ++id)
+        kinds[static_cast<size_t>(id)] =
+            resources[static_cast<size_t>(id)].kind;
 
     // Move edges: advance one cycle (same layer for spatial-only archs,
-    // since their PEs hold a role for the whole run).
+    // since their PEs hold a role for the whole run). A resource's move
+    // list depends only on its (pe, layer), so the forward CSR fills in a
+    // single walk in resource-id order; the reverse CSR is then derived by
+    // count / prefix-sum / scatter.
     const bool temporal = accel.temporalMapping();
-    for (int t = 0; t < numLayers; ++t) {
+    moveOff.resize(static_cast<size_t>(total) + 1, 0);
+    for (int id = 0; id < total; ++id) {
+        moveOff[static_cast<size_t>(id)] = static_cast<int>(moveDst.size());
+        const Resource &res = resources[static_cast<size_t>(id)];
+        const int t = res.time;
         const int next = temporal ? (t + 1) % numLayers : t;
-        for (int pe = 0; pe < pes; ++pe) {
-            auto connect = [&](Resource &res) {
-                for (int dst : accel.linkTargets(pe)) {
-                    int target = fuId(PeId{dst}, AbsTime{next});
-                    if (!temporal && target == fuId(PeId{pe}, AbsTime{t}))
-                        continue;
-                    res.moveTargets.push_back(target);
-                }
-                if (temporal) {
-                    for (int k = 0; k < regsPerPe; ++k)
-                        res.moveTargets.push_back(regId(PeId{pe}, k, AbsTime{next}));
-                }
-            };
-            connect(resources[fuId(PeId{pe}, AbsTime{t})]);
+        const int self = fuId(PeId{res.pe}, AbsTime{t});
+        for (int dst : accel.linkTargets(res.pe)) {
+            int target = fuId(PeId{dst}, AbsTime{next});
+            if (!temporal && target == self)
+                continue;
+            moveDst.push_back(target);
+        }
+        if (temporal) {
             for (int k = 0; k < regsPerPe; ++k)
-                connect(resources[regId(PeId{pe}, k, AbsTime{t})]);
+                moveDst.push_back(regId(PeId{res.pe}, k, AbsTime{next}));
+        }
+    }
+    moveOff[static_cast<size_t>(total)] = static_cast<int>(moveDst.size());
+
+    predOff.assign(static_cast<size_t>(total) + 1, 0);
+    for (int dst : moveDst)
+        ++predOff[static_cast<size_t>(dst) + 1];
+    for (int id = 0; id < total; ++id)
+        predOff[static_cast<size_t>(id) + 1] +=
+            predOff[static_cast<size_t>(id)];
+    predSrc.resize(moveDst.size());
+    {
+        std::vector<int> cursor(predOff.begin(), predOff.end() - 1);
+        for (int src = 0; src < total; ++src) {
+            for (int dst : moveTargets(src))
+                predSrc[static_cast<size_t>(
+                    cursor[static_cast<size_t>(dst)]++)] = src;
         }
     }
 
-    // Feeder table: resources readable by an op at FU(pe, t).
-    feederTable.resize(static_cast<size_t>(numLayers) * pes);
+    // Feeder CSR: resources readable by an op at FU(pe, t); row index is
+    // layer * numPes + pe, filled in row order.
+    feederOff.resize(static_cast<size_t>(numLayers) * pes + 1, 0);
     for (int t = 0; t < numLayers; ++t) {
         const int from = temporal ? (t - 1 + numLayers) % numLayers : t;
         for (int pe = 0; pe < pes; ++pe) {
-            auto &list = feederTable[static_cast<size_t>(t) * pes + pe];
+            feederOff[static_cast<size_t>(t) * pes + pe] =
+                static_cast<int>(feederIds.size());
             auto add_pe = [&](int src) {
-                list.push_back(fuId(PeId{src}, AbsTime{from}));
+                feederIds.push_back(fuId(PeId{src}, AbsTime{from}));
                 for (int k = 0; k < regsPerPe; ++k)
-                    list.push_back(regId(PeId{src}, k, AbsTime{from}));
+                    feederIds.push_back(regId(PeId{src}, k, AbsTime{from}));
             };
             if (temporal)
                 add_pe(pe); // a PE reads its own previous-cycle output
@@ -77,6 +115,8 @@ Mrrg::Mrrg(const Accelerator &accel, int ii)
                 add_pe(src);
         }
     }
+    feederOff[static_cast<size_t>(numLayers) * pes] =
+        static_cast<int>(feederIds.size());
 }
 
 Layer
@@ -99,17 +139,17 @@ Mrrg::regId(PeId pe, int reg, AbsTime time) const
     return RrId{layerOf(time) * perLayer + pes + pe * regsPerPe + reg};
 }
 
-const std::vector<int> &
+std::span<const int>
 Mrrg::feeders(PeId pe, AbsTime time) const
 {
-    return feederTable[static_cast<size_t>(layerOf(time)) * arch->numPes() +
-                       pe];
+    const int row = layerOf(time) * arch->numPes() + pe;
+    return csrRow(feederOff, feederIds, row);
 }
 
 bool
 Mrrg::canFeed(RrId holder, PeId pe, AbsTime time) const
 {
-    const auto &list = feeders(pe, time);
+    const auto list = feeders(pe, time);
     return std::find(list.begin(), list.end(), holder.value()) != list.end();
 }
 

@@ -16,11 +16,21 @@
  * For spatial-only architectures (Accelerator::temporalMapping() == false)
  * the MRRG has a single layer, moves stay inside it, and feeders are the
  * linked PEs of the same layer.
+ *
+ * Adjacency is stored in CSR (compressed sparse row) form: one flat
+ * offsets array plus one flat targets array per relation (forward moves,
+ * reverse moves, feeders), exposed as std::span views. The router's
+ * relaxation loops walk these spans, so a route search touches two
+ * contiguous arrays instead of chasing a heap-allocated vector per
+ * resource. The reverse-move CSR additionally powers the static-distance
+ * oracles (mapping/distance_oracle.hh), which run multi-source searches
+ * from a route's destination backwards.
  */
 
 #ifndef LISA_ARCH_MRRG_HH
 #define LISA_ARCH_MRRG_HH
 
+#include <span>
 #include <vector>
 
 #include "arch/accelerator.hh"
@@ -35,15 +45,13 @@ enum class ResourceKind : uint8_t
     Reg,
 };
 
-/** One time-replicated hardware resource. */
+/** Metadata of one time-replicated hardware resource. */
 struct Resource
 {
     ResourceKind kind = ResourceKind::Fu;
     int pe = 0;
     int reg = -1; ///< register index, -1 for FU resources
     int time = 0; ///< layer in [0, II)
-    /** Resource ids a resident value can move to in one cycle. */
-    std::vector<int> moveTargets;
 };
 
 /** Time-replicated resource graph for one (accelerator, II) pair. */
@@ -59,8 +67,25 @@ class Mrrg
     const Accelerator &accel() const { return *arch; }
     int ii() const { return numLayers; }
 
+    /**
+     * Process-unique graph identity, assigned at construction. Caches
+     * keyed on an Mrrg (the router's distance oracles) compare uids, not
+     * addresses: a destroyed graph and its reallocated successor can share
+     * an address but never a uid.
+     */
+    uint64_t uid() const { return uidValue; }
+
     int numResources() const { return static_cast<int>(resources.size()); }
     const Resource &resource(int id) const { return resources[id]; }
+
+    /** Kind of resource @p id, read from a flat array (no struct load). */
+    ResourceKind kindOf(int id) const { return kinds[id]; }
+
+    /** Flat per-resource kind array (index = resource id). */
+    std::span<const ResourceKind> resourceKinds() const
+    {
+        return {kinds.data(), kinds.size()};
+    }
 
     /**
      * Resources are stored layer-major: id = layer * perLayerCount() +
@@ -81,12 +106,25 @@ class Mrrg
     /** Register resource id for (@p pe, @p reg) at layer @p time. */
     RrId regId(PeId pe, int reg, AbsTime time) const;
 
+    /** Resource ids a value resident on @p id can move to in one cycle. */
+    std::span<const int> moveTargets(int id) const
+    {
+        return csrRow(moveOff, moveDst, id);
+    }
+
+    /** Resource ids that can move a value onto @p id in one cycle
+     *  (reverse adjacency, for goal-directed backwards searches). */
+    std::span<const int> movePreds(int id) const
+    {
+        return csrRow(predOff, predSrc, id);
+    }
+
     /**
      * Resources whose resident value is readable by an operation executing
      * at FU(@p pe, @p time): same-PE and linked-PE resources at the
      * previous layer (same layer for spatial-only architectures).
      */
-    const std::vector<int> &feeders(PeId pe, AbsTime time) const;
+    std::span<const int> feeders(PeId pe, AbsTime time) const;
 
     /** True when @p holder can directly feed an op at FU(pe, time). */
     bool canFeed(RrId holder, PeId pe, AbsTime time) const;
@@ -94,13 +132,32 @@ class Mrrg
   private:
     Layer layerOf(AbsTime time) const;
 
+    static std::span<const int>
+    csrRow(const std::vector<int> &off, const std::vector<int> &flat, int id)
+    {
+        const auto begin = static_cast<size_t>(off[static_cast<size_t>(id)]);
+        const auto end =
+            static_cast<size_t>(off[static_cast<size_t>(id) + 1]);
+        return {flat.data() + begin, end - begin};
+    }
+
     const Accelerator *arch;
+    uint64_t uidValue;
     int numLayers;
     int perLayer; ///< resources per layer
     int regsPerPe;
     std::vector<Resource> resources;
-    /** feederTable[layer * numPes + pe] = feeder resource ids. */
-    std::vector<std::vector<int>> feederTable;
+    std::vector<ResourceKind> kinds; ///< flat copy of resource(i).kind
+
+    /** Forward move CSR: moveDst[moveOff[id] .. moveOff[id+1]). */
+    std::vector<int> moveOff;
+    std::vector<int> moveDst;
+    /** Reverse move CSR: predSrc[predOff[id] .. predOff[id+1]). */
+    std::vector<int> predOff;
+    std::vector<int> predSrc;
+    /** Feeder CSR, row index = layer * numPes + pe. */
+    std::vector<int> feederOff;
+    std::vector<int> feederIds;
 };
 
 } // namespace lisa::arch

@@ -70,7 +70,7 @@ LisaMapper::placeNodeByLabels(const map::MapContext &ctx,
     const bool temporal = accel.temporalMapping();
     const int ii = mapping.mrrg().ii();
 
-    auto capable = accel.opCapablePes(dfg.node(v).op);
+    const auto &capable = accel.opCapablePes(dfg.node(v).op);
     if (capable.empty())
         return false;
 

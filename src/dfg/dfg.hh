@@ -35,6 +35,9 @@ enum class OpCode : uint8_t
     Const,
 };
 
+/** Number of OpCode values (dense enum, for per-op lookup tables). */
+inline constexpr int kNumOpCodes = static_cast<int>(OpCode::Const) + 1;
+
 /** @return a short mnemonic such as "mul" for an OpCode. */
 const char *opName(OpCode op);
 

@@ -89,7 +89,7 @@ Dfs::place(size_t depth)
     const dfg::NodeId v = order[depth];
     const auto &accel = mapping.mrrg().accel();
     const int ii = mapping.mrrg().ii();
-    auto capable = accel.opCapablePes(ctx.dfg.node(v).op);
+    const auto &capable = accel.opCapablePes(ctx.dfg.node(v).op);
     if (capable.empty())
         return false;
 

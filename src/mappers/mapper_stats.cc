@@ -25,6 +25,10 @@ MapperStats::toJson() const
        << "\"routeFailures\":" << router.routeFailures << ","
        << "\"pqPops\":" << router.pqPops << ","
        << "\"relaxations\":" << router.relaxations << ","
+       << "\"heuristicPrunes\":" << router.heuristicPrunes << ","
+       << "\"dpCellsSkipped\":" << router.dpCellsSkipped << ","
+       << "\"oracleBuilds\":" << router.oracleBuilds << ","
+       << "\"oracleHits\":" << router.oracleHits << ","
        << "\"routeSeconds\":" << router.routeSeconds << ","
        << "\"movesCommitted\":" << movesCommitted << ","
        << "\"movesRolledBack\":" << movesRolledBack << ","

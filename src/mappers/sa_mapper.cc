@@ -31,7 +31,7 @@ SaMapper::randomInit(const MapContext &ctx, Mapping &mapping,
     const auto &accel = mapping.mrrg().accel();
     const int ii = mapping.mrrg().ii();
     for (dfg::NodeId v : ctx.analysis.topoOrder()) {
-        auto capable = accel.opCapablePes(ctx.dfg.node(v).op);
+        const auto &capable = accel.opCapablePes(ctx.dfg.node(v).op);
         if (capable.empty())
             return; // leaves the mapping partial; cost will reflect it
         int pe = ctx.rng.pick(capable);
@@ -96,7 +96,7 @@ SaMapper::annealOnce(const MapContext &ctx, Mapping &mapping, double budget,
 
                 dfg::NodeId v =
                     static_cast<dfg::NodeId>(ctx.rng.index(num_nodes));
-                auto capable = accel.opCapablePes(ctx.dfg.node(v).op);
+                const auto &capable = accel.opCapablePes(ctx.dfg.node(v).op);
                 if (capable.empty())
                     continue;
 

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Static-distance oracles for goal-directed routing.
+ *
+ * Both route kernels search the MRRG move graph from the producer's
+ * holders towards the consumer's feeder set. On the *uncongested* graph —
+ * every resource priced at its static base cost, no occupancy — the
+ * distance from any resource to a given feeder set is a fixed property of
+ * the (MRRG, cost-knob) pair. The oracle precomputes these distances
+ * backwards from each requested destination and caches them, giving the
+ * kernels two admissible lower bounds:
+ *
+ *  - minHopsTo(pe, time): minimum number of moves from each resource to
+ *    the feeder set of FU(pe, time), from a reverse BFS over the MRRG's
+ *    predecessor CSR (-1 = unreachable). routeTemporal uses it to fail
+ *    structurally-infeasible edges before running the DP and to skip DP
+ *    cells whose remaining step budget cannot cover the distance.
+ *  - minCostTo(pe): minimum static cost from each resource to the feeder
+ *    set of FU(pe, 0) (spatial-only graphs, II == 1), from a reverse
+ *    Dijkstra weighting each forward hop into resource n at baseCosts[n].
+ *    routeSpatial uses it as the A* heuristic (heap keyed on g + h) and
+ *    prunes pushes to statically-unreachable resources.
+ *
+ * Admissibility: a congested search only *raises* resource prices (overuse
+ * penalty) or removes edges (blocked resources), with one exception —
+ * resources already holding the routed value cost 0 instead of base. Those
+ * resources are exactly the search's seed set, every one of which starts
+ * at cost 0, so the cheapest achievable route always has an interior-
+ * seed-free witness whose per-hop cost is >= the static base cost. The
+ * static distance therefore never overestimates the remaining cost of an
+ * optimal route, and A* / the DP prune return cost-identical results to
+ * the undirected search (tests/test_router_equiv.cc pins this against the
+ * LISA_ROUTER_REFERENCE fallback).
+ *
+ * Tables are built lazily per destination key and cached until bind()
+ * observes a different MRRG uid or cost knobs (epoch invalidation — the
+ * uid, not the address, identifies the graph). The oracle is part of a
+ * RouterWorkspace and is not thread-safe; builds are counted as
+ * allocation events so the zero-allocation steady-state tests cover it.
+ */
+
+#ifndef LISA_MAPPING_DISTANCE_ORACLE_HH
+#define LISA_MAPPING_DISTANCE_ORACLE_HH
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "arch/mrrg.hh"
+#include "mapping/router.hh"
+
+namespace lisa::map {
+
+/** Lazily-built static-distance tables over one (MRRG, costs) binding. */
+class DistanceOracle
+{
+  public:
+    static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+    /**
+     * Bind to @p mrrg priced by @p costs. A no-op while the MRRG uid and
+     * the base-cost knobs are unchanged; otherwise every cached table is
+     * invalidated and the per-resource base-cost array is rebuilt.
+     */
+    void bind(const arch::Mrrg &mrrg, const RouterCosts &costs);
+
+    /**
+     * Per-resource static entry cost (fuCost / regCost by resource kind),
+     * hoisted out of the kernels' relaxation loops. Valid after bind().
+     */
+    std::span<const double> baseCosts() const
+    {
+        return {base.data(), base.size()};
+    }
+
+    /**
+     * Minimum moves from each resource to the feeder set of FU(@p pe,
+     * @p time), -1 when unreachable. Builds the table on first use per
+     * (pe, time mod II) key; @p builds / @p hits count into the caller's
+     * RouterCounters.
+     */
+    std::span<const int32_t> minHopsTo(PeId pe, AbsTime time,
+                                       uint64_t &builds, uint64_t &hits);
+
+    /**
+     * Minimum static cost from each resource to the feeder set of
+     * FU(@p pe, 0), kInf when unreachable. Spatial-only graphs (II == 1).
+     */
+    std::span<const double> minCostTo(PeId pe, uint64_t &builds,
+                                      uint64_t &hits);
+
+    /** @{ Allocation introspection, aggregated into the workspace's. */
+    size_t capacityBytes() const;
+    uint64_t allocationCount() const { return growthEvents; }
+    /** @} */
+
+  private:
+    void buildHops(std::vector<int32_t> &tab, PeId pe, Layer layer);
+    void buildCosts(std::vector<double> &tab, PeId pe);
+
+    const arch::Mrrg *mrrg = nullptr;
+    uint64_t mrrgUid = 0; ///< identity of the bound graph, 0 = unbound
+    double fuCost = 0.0;
+    double regCost = 0.0;
+    uint64_t growthEvents = 0;
+
+    std::vector<double> base; ///< per-resource static entry cost
+
+    /** Hop tables, key = (time mod II) * numPes + pe; empty = unbuilt. */
+    std::vector<std::vector<int32_t>> hopTables;
+    /** Cost tables, key = pe (single layer); empty = unbuilt. */
+    std::vector<std::vector<double>> costTables;
+
+    std::vector<int> bfsQueue;                   ///< reverse-BFS scratch
+    std::vector<std::pair<double, int>> dijHeap; ///< reverse-Dijkstra scratch
+};
+
+} // namespace lisa::map
+
+#endif // LISA_MAPPING_DISTANCE_ORACLE_HH

@@ -18,6 +18,9 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
  * Cost of occupying @p res with instance @p key, or kInf when blocked.
  * Reusing a resource that already carries the same instance (fanout) is
  * free; carrying a different instance costs the congestion penalty.
+ *
+ * Reference-kernel variant: re-derives the base cost from the resource
+ * kind on every call. The optimized kernels use stepCostFast below.
  */
 double
 stepCost(const Mapping &mapping, int res, int64_t key,
@@ -34,6 +37,23 @@ stepCost(const Mapping &mapping, int res, int64_t key,
         base += costs.overusePenalty;
     }
     return base;
+}
+
+/** stepCost with the kind branch hoisted into the oracle's precomputed
+ *  per-resource base-cost array (identical values by construction). */
+inline double
+stepCostFast(const Mapping &mapping, int res, int64_t key,
+             const RouterCosts &costs, std::span<const double> base)
+{
+    if (mapping.holdsInstance(res, key))
+        return 0.0;
+    double c = base[static_cast<size_t>(res)];
+    if (mapping.numInstancesOn(res) > 0) {
+        if (!costs.allowOveruse)
+            return kInf;
+        c += costs.overusePenalty;
+    }
+    return c;
 }
 
 /** Existing holders of value @p u: producer FU at step 0 plus every
@@ -71,10 +91,17 @@ prependSharedPrefix(const Mapping &mapping, dfg::EdgeId parentEdge,
     path.insert(path.begin(), prefix.begin(), prefix.begin() + steps);
 }
 
-/** Exact-length layered DP for temporal architectures. */
+/**
+ * Exact-length layered DP for temporal architectures — reference kernel.
+ *
+ * The undirected pre-oracle algorithm, kept verbatim behind
+ * LISA_ROUTER_REFERENCE (RouterWorkspace::referenceMode) as the ground
+ * truth the equivalence property tests compare against. The optimized
+ * kernel below must return bit-identical paths and costs.
+ */
 const RouteResult *
-routeTemporal(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
-              RouterWorkspace &ws)
+routeTemporalReference(const Mapping &mapping, dfg::EdgeId e,
+                       const RouterCosts &costs, RouterWorkspace &ws)
 {
     const auto &mrrg = mapping.mrrg();
     const dfg::Edge &edge = mapping.dfg().edge(e);
@@ -114,7 +141,7 @@ routeTemporal(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
             if (here == kInf)
                 continue;
             const int res = layer_base + idx;
-            for (int next : mrrg.resource(res).moveTargets) {
+            for (int next : mrrg.moveTargets(res)) {
                 double c = stepCost(mapping, next, key, costs);
                 if (c == kInf)
                     continue;
@@ -164,10 +191,14 @@ routeTemporal(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
     return &result;
 }
 
-/** Variable-length Dijkstra for spatial-only architectures. */
+/**
+ * Variable-length Dijkstra for spatial-only architectures — reference
+ * kernel (see routeTemporalReference). The optimized A* kernel returns
+ * cost-identical routes; tie-breaking among equal-cost paths may differ.
+ */
 const RouteResult *
-routeSpatial(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
-             RouterWorkspace &ws)
+routeSpatialReference(const Mapping &mapping, dfg::EdgeId e,
+                      const RouterCosts &costs, RouterWorkspace &ws)
 {
     const auto &mrrg = mapping.mrrg();
     const dfg::Edge &edge = mapping.dfg().edge(e);
@@ -197,13 +228,252 @@ routeSpatial(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
             found = res;
             break;
         }
-        for (int next : mrrg.resource(res).moveTargets) {
+        for (int next : mrrg.moveTargets(res)) {
             double sc = stepCost(mapping, next, key, costs);
             if (sc == kInf)
                 continue;
             if (ws.improve(next, c + sc, res)) {
                 ++ws.counters.relaxations;
                 ws.pushHeap(c + sc, next);
+            }
+        }
+    }
+    if (found < 0)
+        return nullptr;
+
+    RouteResult &result = ws.result;
+    result.path.clear();
+    result.cost = ws.costOf(found);
+    int res = found;
+    while (ws.parentOf(res) != -2) {
+        // lint:allow-growth (amortized workspace buffer)
+        result.path.push_back(res);
+        res = ws.parentOf(res);
+    }
+    std::reverse(result.path.begin(), result.path.end());
+    // Prepend the shared fanout prefix when the search started mid-route.
+    prependSharedPrefix(mapping, ws.seedEdgeOf(res), ws.seedStepOf(res),
+                        result.path);
+    return &result;
+}
+
+/**
+ * Exact-length layered DP, goal-directed via the static-distance oracle.
+ *
+ * Three additions over the reference kernel, none of which can change the
+ * result (tests/test_router_equiv.cc asserts path identity):
+ *
+ *  - Early structural fail: if no seed can reach the destination's feeder
+ *    set within its remaining step budget (reverse-BFS min-hop table),
+ *    the edge is unroutable at this length — return before the DP runs.
+ *    Most failing route calls die here.
+ *  - DP cell prune: a cell whose min-hop distance exceeds the remaining
+ *    steps cannot lie on any feasible path. Any move predecessor of a
+ *    surviving cell survives too (minHops is 1-Lipschitz along move
+ *    edges), so pruned cells only ever relax pruned cells and every
+ *    surviving cell keeps the reference kernel's exact value and parent.
+ *  - stepCost memo: within one DP step the instance key is fixed, so each
+ *    target's occupancy scan runs once per step instead of once per
+ *    incoming move edge.
+ */
+const RouteResult *
+routeTemporal(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
+              RouterWorkspace &ws)
+{
+    const auto &mrrg = mapping.mrrg();
+    const dfg::Edge &edge = mapping.dfg().edge(e);
+    const Placement &src = mapping.placement(edge.src);
+    const Placement &dst = mapping.placement(edge.dst);
+    const int len = mapping.requiredLength(e);
+    if (len < 0)
+        return nullptr;
+
+    const int per_layer = mrrg.perLayerCount();
+    const int ii = mrrg.ii();
+
+    ws.oracle.bind(mrrg, costs);
+    const auto hops = ws.oracle.minHopsTo(dst.pe, dst.time,
+                                          ws.counters.oracleBuilds,
+                                          ws.counters.oracleHits);
+    const auto base = ws.oracle.baseCosts();
+
+    collectSeeds(mapping, edge.src, ws.seeds);
+
+    bool feasible = false;
+    for (const RouteSeed &seed : ws.seeds) {
+        if (seed.step > len)
+            continue;
+        if (mrrg.layerOfResource(seed.res) != (src.time + seed.step) % ii)
+            continue;
+        const int32_t h = hops[static_cast<size_t>(seed.res)];
+        if (h >= 0 && h <= len - seed.step) {
+            feasible = true;
+            break;
+        }
+    }
+    if (!feasible) {
+        ++ws.counters.heuristicPrunes;
+        return nullptr;
+    }
+
+    ws.beginTemporal(len + 1, per_layer);
+
+    for (const RouteSeed &seed : ws.seeds) {
+        if (seed.step > len)
+            continue;
+        // A holder only seeds the step whose layer it sits on (route
+        // positions of the same producer always satisfy this).
+        if (mrrg.layerOfResource(seed.res) != (src.time + seed.step) % ii)
+            continue;
+        int idx = mrrg.indexInLayer(seed.res);
+        if (ws.dpCostAt(seed.step, idx) > 0.0)
+            ws.dpSeed(seed.step, idx, seed.parent);
+    }
+
+    for (int s = 0; s < len; ++s) {
+        const int layer_base = ((src.time + s) % ii) * per_layer;
+        const int64_t key =
+            mapping.instanceKey(edge.src, AbsTime{src.time + s + 1});
+        const int remaining = len - s;
+        ws.beginStepMemo();
+        for (int idx = 0; idx < per_layer; ++idx) {
+            const double here = ws.dpCostAt(s, idx);
+            if (here == kInf)
+                continue;
+            const int res = layer_base + idx;
+            const int32_t h = hops[static_cast<size_t>(res)];
+            if (h < 0 || h > remaining) {
+                ++ws.counters.dpCellsSkipped;
+                continue;
+            }
+            for (int next : mrrg.moveTargets(res)) {
+                const int nidx = mrrg.indexInLayer(next);
+                double c;
+                if (!ws.memoGet(nidx, c)) {
+                    c = stepCostFast(mapping, next, key, costs, base);
+                    ws.memoPut(nidx, c);
+                }
+                if (c == kInf)
+                    continue;
+                if (ws.dpImprove(s + 1, nidx, here + c, idx))
+                    ++ws.counters.relaxations;
+            }
+        }
+    }
+
+    // Final holder must be able to feed the consumer op.
+    const int final_layer = (src.time + len) % ii;
+    double best = kInf;
+    int best_idx = -1;
+    for (int res : mrrg.feeders(dst.pe, dst.time)) {
+        if (mrrg.layerOfResource(res) != final_layer)
+            continue;
+        int idx = mrrg.indexInLayer(res);
+        if (ws.dpCostAt(len, idx) < best) {
+            best = ws.dpCostAt(len, idx);
+            best_idx = idx;
+        }
+    }
+    if (best_idx < 0)
+        return nullptr;
+
+    RouteResult &result = ws.result;
+    result.path.clear();
+    result.cost = best;
+    int s = len;
+    int idx = best_idx;
+    while (s > 0 && ws.dpParentAt(s, idx) != -2) {
+        // lint:allow-growth (amortized workspace buffer)
+        result.path.push_back(((src.time + s) % ii) * per_layer + idx);
+        idx = ws.dpParentAt(s, idx);
+        --s;
+    }
+    std::reverse(result.path.begin(), result.path.end());
+    if (s > 0) {
+        // Branched off an existing route mid-way.
+        prependSharedPrefix(mapping, ws.dpSeedEdgeAt(s, idx), s,
+                            result.path);
+    }
+    if (static_cast<int>(result.path.size()) != len)
+        panic("routeTemporal: reconstructed path length ",
+              result.path.size(), " != required ", len);
+    return &result;
+}
+
+/**
+ * Goal-directed A* for spatial-only architectures.
+ *
+ * The heap is keyed on f = g + h with h the oracle's static-cost lower
+ * bound to the destination's feeder set (see distance_oracle.hh for the
+ * admissibility argument); statically-unreachable targets are pruned
+ * before they are pushed. The heuristic is admissible but not consistent
+ * (seed resources of the routed value cost 0 below their static price),
+ * so the search keeps the lazy-deletion discipline — improved labels are
+ * re-pushed and stale entries skipped on pop — under which A* with an
+ * admissible heuristic still terminates with the optimal cost at the
+ * first goal pop. Route costs match the reference Dijkstra exactly;
+ * equal-cost ties may resolve to a different (equally valid) path.
+ */
+const RouteResult *
+routeSpatial(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
+             RouterWorkspace &ws)
+{
+    const auto &mrrg = mapping.mrrg();
+    const dfg::Edge &edge = mapping.dfg().edge(e);
+    const Placement &dst = mapping.placement(edge.dst);
+    const int64_t key = mapping.instanceKey(edge.src, AbsTime{0});
+
+    ws.oracle.bind(mrrg, costs);
+    const auto h = ws.oracle.minCostTo(dst.pe, ws.counters.oracleBuilds,
+                                       ws.counters.oracleHits);
+    const auto base = ws.oracle.baseCosts();
+
+    ws.beginSpatial(mrrg.numResources());
+    ws.beginStepMemo(); // one memo window: the key is fixed for the call
+
+    collectSeeds(mapping, edge.src, ws.seeds);
+    for (const RouteSeed &seed : ws.seeds) {
+        if (ws.costOf(seed.res) > 0.0) {
+            if (h[static_cast<size_t>(seed.res)] == kInf) {
+                ++ws.counters.heuristicPrunes;
+                continue;
+            }
+            ws.seedSpatial(seed.res, seed.step, seed.parent);
+            ws.pushHeap(h[static_cast<size_t>(seed.res)], seed.res);
+        }
+    }
+
+    for (int g : mrrg.feeders(dst.pe, dst.time))
+        ws.markGoal(g);
+
+    int found = -1;
+    while (!ws.heapEmpty()) {
+        auto [f, res] = ws.popHeap();
+        ++ws.counters.pqPops;
+        if (f > ws.costOf(res) + h[static_cast<size_t>(res)])
+            continue; // stale: the label improved after this push
+        if (ws.isGoal(res)) {
+            found = res;
+            break;
+        }
+        const double g = ws.costOf(res);
+        for (int next : mrrg.moveTargets(res)) {
+            const double hn = h[static_cast<size_t>(next)];
+            if (hn == kInf) {
+                ++ws.counters.heuristicPrunes;
+                continue;
+            }
+            double sc;
+            if (!ws.memoGet(next, sc)) {
+                sc = stepCostFast(mapping, next, key, costs, base);
+                ws.memoPut(next, sc);
+            }
+            if (sc == kInf)
+                continue;
+            const double ng = g + sc;
+            if (ws.improve(next, ng, res)) {
+                ++ws.counters.relaxations;
+                ws.pushHeap(ng + hn, next);
             }
         }
     }
@@ -245,7 +515,9 @@ routeEdge(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
 
     const RouteResult *out;
     if (mapping.mrrg().accel().temporalMapping()) {
-        out = routeTemporal(mapping, e, costs, ws);
+        out = ws.referenceMode
+                  ? routeTemporalReference(mapping, e, costs, ws)
+                  : routeTemporal(mapping, e, costs, ws);
     } else if (edge.src == edge.dst) {
         // On spatial-only arrays an accumulator feedback loop lives inside
         // the PE (a MAC unit): routing it through a neighbour would add
@@ -255,7 +527,9 @@ routeEdge(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
         ws.result.cost = 0.0;
         out = &ws.result;
     } else {
-        out = routeSpatial(mapping, e, costs, ws);
+        out = ws.referenceMode
+                  ? routeSpatialReference(mapping, e, costs, ws)
+                  : routeSpatial(mapping, e, costs, ws);
     }
 
     if (!out)

@@ -1,6 +1,8 @@
 #include "mapping/router_workspace.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 namespace lisa::map {
 
@@ -21,6 +23,12 @@ struct HeapGreater
 
 } // namespace
 
+RouterWorkspace::RouterWorkspace()
+{
+    const char *v = std::getenv("LISA_ROUTER_REFERENCE");
+    referenceMode = v && *v && std::strcmp(v, "0") != 0;
+}
+
 void
 RouterWorkspace::beginSpatial(int numResources)
 {
@@ -32,6 +40,8 @@ RouterWorkspace::beginSpatial(int numResources)
     ensure(seedEdge, n);
     ensure(stamp, n);
     ensure(goalStamp, n);
+    ensure(memoCost, n);
+    ensure(memoStamp, n);
     heap.clear();
 }
 
@@ -45,6 +55,8 @@ RouterWorkspace::beginTemporal(int steps, int perLayer)
     ensure(dpParent, cells);
     ensure(dpSeedEdge, cells);
     ensure(dpStamp, cells);
+    ensure(memoCost, dpPerLayer);
+    ensure(memoStamp, dpPerLayer);
 }
 
 void
@@ -76,7 +88,8 @@ RouterWorkspace::capacityBytes() const
     return bytes(cost) + bytes(parent) + bytes(seedStep) + bytes(seedEdge) +
            bytes(stamp) + bytes(goalStamp) + bytes(heap) + bytes(dpCost) +
            bytes(dpParent) + bytes(dpSeedEdge) + bytes(dpStamp) +
-           bytes(seeds) + bytes(result.path);
+           bytes(memoCost) + bytes(memoStamp) + bytes(seeds) +
+           bytes(result.path) + oracle.capacityBytes();
 }
 
 } // namespace lisa::map

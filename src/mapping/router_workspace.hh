@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "dfg/dfg.hh"
+#include "mapping/distance_oracle.hh"
 #include "mapping/router.hh"
 
 namespace lisa::map {
@@ -50,6 +51,17 @@ struct RouterCounters
     uint64_t pqPops = 0;
     /** Cost-label improvements (Dijkstra relaxations + DP transitions). */
     uint64_t relaxations = 0;
+    /** Work avoided by the static-distance oracle: spatial pushes dropped
+     *  because the target cannot reach the goal, plus temporal searches
+     *  failed before the DP because no seed can reach it in budget. */
+    uint64_t heuristicPrunes = 0;
+    /** Temporal DP cells skipped because the destination is out of reach
+     *  within the remaining step budget. */
+    uint64_t dpCellsSkipped = 0;
+    /** Distance-oracle tables built (lazy, once per destination key). */
+    uint64_t oracleBuilds = 0;
+    /** Distance-oracle lookups served from a cached table. */
+    uint64_t oracleHits = 0;
     /** Wall-clock seconds spent inside routeEdge. */
     double routeSeconds = 0.0;
 
@@ -60,6 +72,10 @@ struct RouterCounters
         routeFailures += o.routeFailures;
         pqPops += o.pqPops;
         relaxations += o.relaxations;
+        heuristicPrunes += o.heuristicPrunes;
+        dpCellsSkipped += o.dpCellsSkipped;
+        oracleBuilds += o.oracleBuilds;
+        oracleHits += o.oracleHits;
         routeSeconds += o.routeSeconds;
     }
 
@@ -80,10 +96,38 @@ class RouterWorkspace
   public:
     static constexpr double kInf = std::numeric_limits<double>::infinity();
 
+    /** Reads LISA_ROUTER_REFERENCE into referenceMode. */
+    RouterWorkspace();
+
     /** @{ Search-start hooks: bump the epoch and size the arrays. */
     void beginSpatial(int numResources);
     /** @p steps rows (required length + 1) of @p perLayer slots each. */
     void beginTemporal(int steps, int perLayer);
+    /** @} */
+
+    /** @{ Per-window stepCost memo. The mapping is immutable during one
+     *  routeEdge call, so stepCost(res, key) is pure over any window with
+     *  a fixed instance key: the whole call for the spatial search, one DP
+     *  step for the temporal search (the key advances with absolute
+     *  time). beginStepMemo opens a fresh window; entries are retired by
+     *  stamping, never cleared. */
+    void beginStepMemo() { ++memoTick; }
+
+    bool
+    memoGet(int idx, double &out) const
+    {
+        if (memoStamp[idx] != memoTick)
+            return false;
+        out = memoCost[idx];
+        return true;
+    }
+
+    void
+    memoPut(int idx, double c)
+    {
+        memoStamp[idx] = memoTick;
+        memoCost[idx] = c;
+    }
     /** @} */
 
     /** @{ Spatial Dijkstra labels (valid after beginSpatial). */
@@ -183,11 +227,24 @@ class RouterWorkspace
     /** Observability counters, accumulated across calls. */
     RouterCounters counters;
 
+    /** Static-distance tables for goal-directed search (lazily built,
+     *  cached across calls, invalidated on MRRG/cost changes). */
+    DistanceOracle oracle;
+
+    /** When true, routeEdge runs the undirected pre-oracle kernels
+     *  (exact pre-change algorithm). Initialized from the
+     *  LISA_ROUTER_REFERENCE environment knob; tests set it directly. */
+    bool referenceMode = false;
+
     /** @{ Capacity introspection for the zero-allocation tests. */
     /** Total bytes of heap capacity held by all internal buffers. */
     size_t capacityBytes() const;
     /** Number of buffer-growth (reallocation) events so far. */
-    uint64_t allocationCount() const { return growthEvents; }
+    uint64_t
+    allocationCount() const
+    {
+        return growthEvents + oracle.allocationCount();
+    }
     /** Record a reallocation of a buffer the router fills directly
      *  (the seed list and the result path). */
     void noteGrowth() { ++growthEvents; }
@@ -214,7 +271,13 @@ class RouterWorkspace
     }
 
     uint64_t epoch = 0;
+    uint64_t memoTick = 0;
     uint64_t growthEvents = 0;
+
+    // stepCost memo (see beginStepMemo), indexed by in-layer index for
+    // the temporal DP and by resource id for the spatial search.
+    std::vector<double> memoCost;
+    std::vector<uint64_t> memoStamp;
 
     // Spatial labels.
     std::vector<double> cost;

@@ -163,7 +163,7 @@ struct Checker
     bool
     canMove(int from, int to) const
     {
-        const auto &targets = mrrg.resource(from).moveTargets;
+        const auto targets = mrrg.moveTargets(from);
         return std::find(targets.begin(), targets.end(), to) !=
                targets.end();
     }

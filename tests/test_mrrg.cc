@@ -59,7 +59,7 @@ TEST(Mrrg, MoveTargetsAdvanceOneLayer)
     CgraArch c(baselineCgra(4, 4));
     Mrrg m(c, 3);
     int fu = m.fuId(PeId{5}, AbsTime{0});
-    for (int next : m.resource(fu).moveTargets) {
+    for (int next : m.moveTargets(fu)) {
         EXPECT_EQ(m.layerOfResource(next), 1);
         const Resource &r = m.resource(next);
         if (r.kind == ResourceKind::Fu) {
@@ -73,7 +73,7 @@ TEST(Mrrg, MoveTargetsAdvanceOneLayer)
         }
     }
     // 4 neighbours + 4 registers.
-    EXPECT_EQ(m.resource(fu).moveTargets.size(), 8u);
+    EXPECT_EQ(m.moveTargets(fu).size(), 8u);
 }
 
 TEST(Mrrg, FeedersComeFromPreviousLayer)
@@ -111,7 +111,7 @@ TEST(Mrrg, SystolicSingleLayerNoRegs)
     EXPECT_EQ(m.numResources(), 25);
     // Moves stay in layer 0 and follow the E/N/S links.
     int fu = m.fuId(PeId{6}, AbsTime{0});
-    for (int next : m.resource(fu).moveTargets) {
+    for (int next : m.moveTargets(fu)) {
         EXPECT_EQ(m.layerOfResource(next), 0);
         EXPECT_EQ(m.resource(next).kind, ResourceKind::Fu);
     }
@@ -119,6 +119,60 @@ TEST(Mrrg, SystolicSingleLayerNoRegs)
     for (int res : m.feeders(PeId{6}, AbsTime{0})) {
         EXPECT_NE(m.resource(res).pe, 6);
     }
+}
+
+/** The reverse CSR (movePreds) must be the exact transpose of the
+ *  forward CSR (moveTargets), and the kind cache must match resources. */
+void
+expectCsrConsistent(const Mrrg &m)
+{
+    const int total = m.numResources();
+    // kindOf is a flat cache of resource(id).kind.
+    ASSERT_EQ(m.resourceKinds().size(), static_cast<size_t>(total));
+    for (int id = 0; id < total; ++id)
+        EXPECT_EQ(m.kindOf(id), m.resource(id).kind);
+
+    // Every forward edge appears exactly once in the reverse CSR and
+    // vice versa (counted both ways so neither side can have extras).
+    size_t fwd = 0, rev = 0;
+    for (int id = 0; id < total; ++id) {
+        for (int next : m.moveTargets(id)) {
+            ++fwd;
+            const auto preds = m.movePreds(next);
+            EXPECT_EQ(std::count(preds.begin(), preds.end(), id), 1)
+                << "edge " << id << " -> " << next;
+        }
+        for (int prev : m.movePreds(id)) {
+            ++rev;
+            const auto nexts = m.moveTargets(prev);
+            EXPECT_EQ(std::count(nexts.begin(), nexts.end(), id), 1)
+                << "edge " << prev << " -> " << id;
+        }
+    }
+    EXPECT_EQ(fwd, rev);
+}
+
+TEST(Mrrg, CsrTransposeConsistentTemporal)
+{
+    CgraArch c(baselineCgra(3, 3));
+    for (int ii : {1, 2, 3})
+        expectCsrConsistent(Mrrg(c, ii));
+}
+
+TEST(Mrrg, CsrTransposeConsistentSpatial)
+{
+    SystolicArch s(3, 5);
+    expectCsrConsistent(Mrrg(s, 1));
+}
+
+TEST(Mrrg, UidsAreUniquePerInstance)
+{
+    // The distance oracle keys its caches on the uid, so two MRRGs built
+    // back-to-back (possibly at the same address) must never share one.
+    CgraArch c(baselineCgra(3, 3));
+    Mrrg a(c, 2);
+    Mrrg b(c, 2);
+    EXPECT_NE(a.uid(), b.uid());
 }
 
 TEST(Mrrg, RejectsBadIi)
@@ -142,7 +196,7 @@ TEST_P(MrrgIiSweep, LayerStructureHolds)
     EXPECT_EQ(m.numResources(), ii * m.perLayerCount());
     for (int id = 0; id < m.numResources(); ++id) {
         EXPECT_EQ(m.layerOfResource(id), m.resource(id).time);
-        for (int next : m.resource(id).moveTargets)
+        for (int next : m.moveTargets(id))
             EXPECT_EQ(m.layerOfResource(next),
                       (m.resource(id).time + 1) % ii);
     }

@@ -62,12 +62,11 @@ checkMappingInvariants(const map::Mapping &m)
         //    legal move edge.
         if (!path.empty()) {
             int producer = mrrg.fuId(m.placement(edge.src).pe, m.placement(edge.src).time);
-            const auto &t0 = mrrg.resource(producer).moveTargets;
+            const auto t0 = mrrg.moveTargets(producer);
             EXPECT_NE(std::find(t0.begin(), t0.end(), path[0]), t0.end())
                 << "first hop unreachable from producer";
             for (size_t i = 1; i < path.size(); ++i) {
-                const auto &targets =
-                    mrrg.resource(path[i - 1]).moveTargets;
+                const auto targets = mrrg.moveTargets(path[i - 1]);
                 EXPECT_NE(
                     std::find(targets.begin(), targets.end(), path[i]),
                     targets.end())

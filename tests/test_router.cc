@@ -7,6 +7,8 @@
 #include "arch/systolic.hh"
 #include "dfg/builder.hh"
 #include "mapping/router.hh"
+#include "mapping/router_workspace.hh"
+#include "verify/verify.hh"
 
 namespace {
 
@@ -145,6 +147,105 @@ TEST(Router, FanoutReusesExistingRoute)
     m.clearRoute(0);
     for (int res : r2->path)
         EXPECT_EQ(m.numInstancesOn(res), 1);
+}
+
+/** Temporal multi-fanout reroute: the branch taken off an existing route
+ *  must come back as a complete producer-rooted path (prependSharedPrefix),
+ *  in both the optimized and the LISA_ROUTER_REFERENCE kernels. */
+void
+expectFanoutBranchCompleteTemporal(bool reference_mode)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 8);
+    RouterWorkspace ws;
+    ws.referenceMode = reference_mode;
+
+    dfg::DfgBuilder b("fan");
+    auto x = b.load("x");
+    b.op(OpCode::Add, {x});
+    b.op(OpCode::Mul, {x});
+    dfg::Dfg g = b.build();
+
+    Mapping m(g, mrrg);
+    m.placeNode(0, PeId{0}, AbsTime{0});
+    m.placeNode(1, PeId{0}, AbsTime{3}); // held in PE0's registers
+    m.placeNode(2, PeId{2}, AbsTime{3}); // branches off the hold to go east
+    for (dfg::EdgeId e = 0; e < 2; ++e) {
+        const RouteResult *r = routeEdge(m, e, RouterCosts{}, ws);
+        ASSERT_NE(r, nullptr) << "edge " << e;
+        m.setRoute(e, r->path);
+    }
+    // Reusing the held value is strictly cheaper than any fresh hop, so
+    // the branch must share the producer-rooted first hop with edge 0.
+    ASSERT_EQ(m.route(1).size(), 2u);
+    EXPECT_EQ(m.route(1)[0], m.route(0)[0]);
+    EXPECT_EQ(m.numInstancesOn(m.route(0)[0]), 1);
+
+    // Reroute the fanout consumer: the fresh branch must again be a
+    // complete path, and the whole mapping must survive verification.
+    EXPECT_EQ(rerouteIncident(m, 2, RouterCosts{}, ws), 0);
+    ASSERT_EQ(m.route(1).size(), 2u);
+    EXPECT_EQ(m.route(1)[0], m.route(0)[0]);
+    verify::VerifyReport rep =
+        verify::verifyMapping(g, *mrrg, m, verify::VerifyOptions{});
+    EXPECT_TRUE(rep.ok()) << rep.toString();
+}
+
+TEST(Router, FanoutBranchPathCompleteTemporal)
+{
+    expectFanoutBranchCompleteTemporal(false);
+}
+
+TEST(Router, FanoutBranchPathCompleteTemporalReference)
+{
+    expectFanoutBranchCompleteTemporal(true);
+}
+
+/** Spatial analogue: the shorter fanout branch is a strict prefix of the
+ *  longer forwarding chain and still producer-rooted after a reroute. */
+void
+expectFanoutBranchCompleteSpatial(bool reference_mode)
+{
+    arch::SystolicArch s(3, 5);
+    auto mrrg = std::make_shared<const arch::Mrrg>(s, 1);
+    RouterWorkspace ws;
+    ws.referenceMode = reference_mode;
+
+    dfg::DfgBuilder b("fan");
+    auto x = b.load("x");
+    b.op(OpCode::Add, {x});
+    b.op(OpCode::Add, {x});
+    dfg::Dfg g = b.build();
+
+    Mapping m(g, mrrg);
+    m.placeNode(0, PeId{0}, AbsTime{0}); // load, (0,0)
+    m.placeNode(1, PeId{3}, AbsTime{0}); // (0,3): two forwarding hops
+    m.placeNode(2, PeId{6}, AbsTime{0}); // (1,1): fed by the first hop (0,1)
+    for (dfg::EdgeId e = 0; e < 2; ++e) {
+        const RouteResult *r = routeEdge(m, e, RouterCosts{}, ws);
+        ASSERT_NE(r, nullptr) << "edge " << e;
+        m.setRoute(e, r->path);
+    }
+    ASSERT_EQ(m.route(0).size(), 2u);
+    ASSERT_EQ(m.route(1).size(), 1u);
+    EXPECT_EQ(m.route(1)[0], m.route(0)[0]);
+
+    EXPECT_EQ(rerouteIncident(m, 2, RouterCosts{}, ws), 0);
+    ASSERT_EQ(m.route(1).size(), 1u);
+    EXPECT_EQ(m.route(1)[0], m.route(0)[0]);
+    verify::VerifyReport rep =
+        verify::verifyMapping(g, *mrrg, m, verify::VerifyOptions{});
+    EXPECT_TRUE(rep.ok()) << rep.toString();
+}
+
+TEST(Router, FanoutBranchPathCompleteSpatial)
+{
+    expectFanoutBranchCompleteSpatial(false);
+}
+
+TEST(Router, FanoutBranchPathCompleteSpatialReference)
+{
+    expectFanoutBranchCompleteSpatial(true);
 }
 
 TEST(Router, SelfRecurrenceAtIiOne)

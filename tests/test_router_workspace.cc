@@ -150,6 +150,10 @@ TEST(MapperStats, MergeIsAssociative)
         s.router.routeFailures = base / 2;
         s.router.pqPops = base * 3;
         s.router.relaxations = base * 7;
+        s.router.heuristicPrunes = base * 11;
+        s.router.dpCellsSkipped = base * 13;
+        s.router.oracleBuilds = base % 7;
+        s.router.oracleHits = base * 17;
         s.router.routeSeconds = secs;
         s.movesCommitted = base + 1;
         s.movesRolledBack = base + 2;
@@ -190,6 +194,10 @@ TEST(MapperStats, JsonHasEveryCounter)
     EXPECT_NE(j.find("\"routeEdgeCalls\":42"), std::string::npos);
     EXPECT_NE(j.find("\"restarts\":7"), std::string::npos);
     EXPECT_NE(j.find("\"pqPops\":0"), std::string::npos);
+    EXPECT_NE(j.find("\"heuristicPrunes\":0"), std::string::npos);
+    EXPECT_NE(j.find("\"dpCellsSkipped\":0"), std::string::npos);
+    EXPECT_NE(j.find("\"oracleBuilds\":0"), std::string::npos);
+    EXPECT_NE(j.find("\"oracleHits\":0"), std::string::npos);
     EXPECT_NE(j.find("\"mapSeconds\":0"), std::string::npos);
 }
 
