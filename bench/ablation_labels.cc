@@ -23,6 +23,7 @@ main(int argc, char **argv)
     using namespace lisabench;
     arch::CgraArch accel(arch::baselineCgra(4, 4));
     core::LisaFramework &fw = frameworkFor(accel);
+    arch::ArchContext &context = archContextFor(accel);
     CompareOptions budgets = scaled(CompareOptions{});
 
     auto run = [&](const core::Labels &labels, core::LisaConfig cfg,
@@ -32,7 +33,7 @@ main(int argc, char **argv)
         opts.perIiBudget = budgets.lisaPerIi;
         opts.totalBudget = budgets.lisaTotal;
         opts.threads = benchThreads();
-        return map::searchMinIi(mapper, w.dfg, accel, opts);
+        return map::searchMinIi(mapper, w.dfg, context, opts);
     };
     auto cell = [](const map::SearchResult &r) {
         return std::to_string(r.success ? r.ii : 0);

@@ -20,6 +20,7 @@ void
 runOne(const arch::Accelerator &accel, const std::string &title)
 {
     core::LisaFramework &fw = frameworkFor(accel);
+    arch::ArchContext &context = archContextFor(accel);
     CompareOptions opts = scaled(CompareOptions{});
 
     Table t({"kernel", "SA", "SA+prio", "LISA"});
@@ -30,12 +31,12 @@ runOne(const arch::Accelerator &accel, const std::string &title)
         sopts.threads = benchThreads();
 
         map::SaMapper sa;
-        auto r_sa = map::searchMinIi(sa, w.dfg, accel, sopts);
+        auto r_sa = map::searchMinIi(sa, w.dfg, context, sopts);
 
         map::SaConfig prio_cfg;
         prio_cfg.routingPriority = true;
         map::SaMapper sa_prio(prio_cfg);
-        auto r_prio = map::searchMinIi(sa_prio, w.dfg, accel, sopts);
+        auto r_prio = map::searchMinIi(sa_prio, w.dfg, context, sopts);
 
         map::SearchOptions lopts;
         lopts.perIiBudget = opts.lisaPerIi;

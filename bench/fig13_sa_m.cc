@@ -18,6 +18,7 @@ main(int argc, char **argv)
     using namespace lisabench;
     arch::CgraArch accel(arch::baselineCgra(4, 4));
     core::LisaFramework &fw = frameworkFor(accel);
+    arch::ArchContext &context = archContextFor(accel);
     CompareOptions opts = scaled(CompareOptions{});
 
     auto suite = workloads::polybenchSuite();
@@ -34,12 +35,12 @@ main(int argc, char **argv)
         sopts.threads = benchThreads();
 
         map::SaMapper sa;
-        auto r_sa = map::searchMinIi(sa, w.dfg, accel, sopts);
+        auto r_sa = map::searchMinIi(sa, w.dfg, context, sopts);
 
         map::SaConfig m_cfg;
         m_cfg.movementMultiplier = 10;
         map::SaMapper sam(m_cfg);
-        auto r_sam = map::searchMinIi(sam, w.dfg, accel, sopts);
+        auto r_sam = map::searchMinIi(sam, w.dfg, context, sopts);
 
         map::SearchOptions lopts;
         lopts.perIiBudget = opts.lisaPerIi;

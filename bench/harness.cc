@@ -7,6 +7,7 @@
 #include <map>
 #include <sstream>
 
+#include "arch/arch_context.hh"
 #include "core/lisa_mapper.hh"
 #include "mappers/exact_mapper.hh"
 #include "mappers/sa_mapper.hh"
@@ -131,14 +132,33 @@ scaled(CompareOptions options)
     return options;
 }
 
+arch::ArchContext &
+archContextFor(const arch::Accelerator &accel)
+{
+    static std::map<std::string, std::unique_ptr<arch::ArchContext>>
+        registry;
+    auto it = registry.find(accel.name());
+    if (it == registry.end()) {
+        it = registry
+                 .emplace(accel.name(),
+                          std::make_unique<arch::ArchContext>(accel))
+                 .first;
+    }
+    return *it->second;
+}
+
 core::LisaFramework &
 frameworkFor(const arch::Accelerator &accel)
 {
+    // Touch the context registry before this function's own static so the
+    // contexts outlive the frameworks that point into them.
+    arch::ArchContext &context = archContextFor(accel);
     static std::map<std::string, std::unique_ptr<core::LisaFramework>>
         registry;
     auto it = registry.find(accel.name());
     if (it == registry.end()) {
         core::FrameworkConfig cfg;
+        cfg.archContext = &context;
         cfg.trainingData.numDfgs = fastMode() ? 12 : 60;
         cfg.trainingData.refinements = 4;
         cfg.trainingData.perIiBudget = 0.25;
@@ -161,6 +181,7 @@ compareMappers(const arch::Accelerator &accel,
                const CompareOptions &options)
 {
     core::LisaFramework &fw = frameworkFor(accel);
+    arch::ArchContext &context = fw.archContext();
     const int runs = saRuns();
     const int threads = benchThreads();
 
@@ -179,7 +200,7 @@ compareMappers(const arch::Accelerator &accel,
             opts.perIiBudget = options.ilpPerIi;
             opts.totalBudget = options.ilpTotal;
             opts.seed = options.seed;
-            row.ilp = map::searchMinIi(ilp, w.dfg, accel, opts);
+            row.ilp = map::searchMinIi(ilp, w.dfg, context, opts);
             suite_stats.merge(row.ilp.stats);
         }
 
@@ -193,7 +214,8 @@ compareMappers(const arch::Accelerator &accel,
                 opts.totalBudget = options.saTotal;
                 opts.seed = options.seed + static_cast<uint64_t>(r) * 977;
                 opts.threads = threads;
-                attempts.push_back(map::searchMinIi(sa, w.dfg, accel, opts));
+                attempts.push_back(
+                    map::searchMinIi(sa, w.dfg, context, opts));
             }
             for (const auto &a : attempts) {
                 total_attempts += a.attempts;

@@ -76,8 +76,17 @@ struct CompareResult
 };
 
 /**
+ * Get the shared per-accelerator arch-artifact cache (MRRGs, distance
+ * oracles). Every mapper the harness runs — ILP*, SA, LISA — draws from
+ * this one context, so a suite derives each table once and warm-starts
+ * from disk when LISA_ARCH_CACHE is set. Lives for the process.
+ */
+arch::ArchContext &archContextFor(const arch::Accelerator &accel);
+
+/**
  * Get (and prepare) the shared LISA framework for an accelerator. The
  * instance lives for the process; models are cached in ./lisa_models.
+ * Its arch artifacts come from archContextFor(accel).
  */
 core::LisaFramework &frameworkFor(const arch::Accelerator &accel);
 

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * ArchContext: shared, serializable cache of arch-derived artifacts.
+ *
+ * Everything the mapping stack derives from an Accelerator alone is
+ * request-invariant: the CSR MRRG per II, the static-distance oracle
+ * tables per (MRRG, cost-knob) binding, the per-resource base-cost
+ * arrays, and the memoized opCapablePes tables. Before this cache every
+ * II attempt re-derived them (each RouterWorkspace built private oracle
+ * tables, searchMinIi built a fresh Mrrg per II), so a bench suite paid
+ * thousands of oracleBuilds for artifacts that depend only on (arch, II).
+ *
+ * One ArchContext per accelerator owns them all:
+ *
+ *  - mrrgFor(ii): shared_ptr<const Mrrg>, built once per II and reused by
+ *    every later sweep over the same accelerator;
+ *  - oracleStoreFor(mrrg, fuCost, regCost): a thread-safe OracleStore of
+ *    min-hop / min-cost tables shared by every concurrent attempt stream
+ *    (workspaces keep span views into it, see mapping/distance_oracle.hh);
+ *  - opCapablePes: warmed eagerly at construction so no first-use race or
+ *    latency remains.
+ *
+ * Layer symmetry. The MRRG replicates the same per-layer structure across
+ * all II layers, moves go from layer t to (t+1) mod II with identical
+ * in-layer index patterns, and the feeder set of FU(pe, t) reads layer
+ * (t-1+II) mod II. The whole graph is therefore invariant under layer
+ * rotation, and the min-hop table towards FU(pe, L) is a rotation of the
+ * table towards FU(pe, 0):
+ *
+ *     tab_L[l * P + idx] = tab_0[((l - L + II) mod II) * P + idx]
+ *
+ * with P the per-layer resource count. The store runs one reverse BFS per
+ * PE (the canonical layer-0 table) and materializes other layers by an
+ * O(n) copy, so a full sweep costs #PEs BFS builds per II instead of
+ * #PEs * II. Rotated values are exactly equal to a direct BFS, keeping
+ * routing bit-identical (tests/test_arch_context.cc pins this).
+ *
+ * Warm start. A context serializes its canonical tables to a versioned
+ * binary file ("LARC"): magic, format version, an accelerator content
+ * fingerprint (FNV-1a over the PE grid, links, register counts, op
+ * support, maxIi and mapping mode), the table payload, and a trailing
+ * checksum. Load rejects any magic/version/fingerprint/size/checksum
+ * mismatch and leaves the context cold. With LISA_ARCH_CACHE=<dir> set, a
+ * context loads the file at construction and saves at destruction, so a
+ * long-lived process warm-starts with oracleBuilds ~ 0.
+ *
+ * Threading: mrrgFor / oracleStoreFor take the context mutex; OracleStore
+ * builds take the store mutex and publish through release stores; the
+ * steady-state lookup path (hopTable / costTable / baseCosts) is lock-free
+ * acquire loads and performs no heap allocation — this header is on the
+ * tools/lint.sh hot-file list to keep it that way.
+ */
+
+#ifndef LISA_ARCH_ARCH_CONTEXT_HH
+#define LISA_ARCH_ARCH_CONTEXT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/mrrg.hh"
+
+namespace lisa::arch {
+
+class ArchContext;
+
+/**
+ * Thread-safe static-distance tables for one (MRRG, fuCost, regCost)
+ * binding, shared by every router workspace mapping on that graph.
+ *
+ * Lookups are lock-free pointer loads; a nullptr result sends the caller
+ * to the ensure* slow path, which builds (or rotates) the table under the
+ * store mutex and publishes it with release semantics. Table storage is a
+ * deque, so published addresses stay stable while the store grows.
+ */
+class OracleStore
+{
+  public:
+    OracleStore(std::shared_ptr<const Mrrg> mrrg, double fu_cost,
+                double reg_cost);
+
+    const Mrrg &mrrg() const { return *graph; }
+    uint64_t mrrgUid() const { return graph->uid(); }
+    int ii() const { return graph->ii(); }
+    double fuCost() const { return fu; }
+    double regCost() const { return reg; }
+
+    /** Per-resource static entry cost, immutable after construction. */
+    std::span<const double> baseCosts() const
+    {
+        return {base.data(), base.size()};
+    }
+
+    /** @{ Lock-free published-table lookup; nullptr = not yet built. */
+    const std::vector<int32_t> *
+    hopTable(int layer, int pe) const
+    {
+        return hopPub[slotOf(layer, pe)].load(std::memory_order_acquire);
+    }
+
+    const std::vector<double> *
+    costTable(int pe) const
+    {
+        return costPub[static_cast<size_t>(pe)].load(
+            std::memory_order_acquire);
+    }
+    /** @} */
+
+    /**
+     * @{ Slow path: build the table under the store mutex and publish it.
+     * A canonical (layer-0) BFS counts into @p oracle_builds and
+     * @p context_misses; a layer rotation counts into @p context_misses
+     * only; losing a build race to another thread counts a
+     * @p context_hits. Returned references stay valid for the store's
+     * lifetime.
+     */
+    const std::vector<int32_t> &ensureHopTable(int layer, int pe,
+                                               uint64_t &oracle_builds,
+                                               uint64_t &context_misses,
+                                               uint64_t &context_hits);
+    const std::vector<double> &ensureCostTable(int pe,
+                                               uint64_t &oracle_builds,
+                                               uint64_t &context_misses,
+                                               uint64_t &context_hits);
+    /** @} */
+
+    /** Heap bytes held by every published table (diagnostics). */
+    size_t capacityBytes() const;
+
+  private:
+    friend class ArchContext;
+
+    size_t
+    slotOf(int layer, int pe) const
+    {
+        return static_cast<size_t>(layer) *
+                   static_cast<size_t>(graph->accel().numPes()) +
+               static_cast<size_t>(pe);
+    }
+
+    void buildCanonicalHops(std::vector<int32_t> &tab, int pe);
+    void buildCosts(std::vector<double> &tab, int pe);
+    /** Seed the canonical layer-0 slot for @p pe (warm start / tests). */
+    void seedCanonicalHops(int pe, std::vector<int32_t> table);
+    void seedCosts(int pe, std::vector<double> table);
+
+    std::shared_ptr<const Mrrg> graph;
+    double fu;
+    double reg;
+
+    std::vector<double> base; ///< per-resource static entry cost
+
+    mutable std::mutex mu; ///< guards storage and publication
+    /** Published hop tables, slot = layer * numPes + pe. */
+    std::vector<std::atomic<const std::vector<int32_t> *>> hopPub;
+    /** Published cost tables (spatial graphs, II == 1), slot = pe. */
+    std::vector<std::atomic<const std::vector<double> *>> costPub;
+    /** Stable backing storage for published tables (under mu). */
+    std::deque<std::vector<int32_t>> hopStorage;
+    std::deque<std::vector<double>> costStorage;
+    std::vector<int> bfsQueue; ///< reverse-BFS scratch (under mu)
+    std::vector<std::pair<double, int>> dijHeap; ///< Dijkstra scratch
+};
+
+/**
+ * Factory for a workspace-private OracleStore (no shared context bound).
+ * Lives here so the hot-listed mapping files never spell an allocation.
+ */
+std::shared_ptr<OracleStore>
+makePrivateOracleStore(std::shared_ptr<const Mrrg> mrrg, double fu_cost,
+                       double reg_cost);
+
+/** Owner of every arch-derived artifact for one accelerator. */
+class ArchContext
+{
+  public:
+    /**
+     * Build a context for @p accel. When @p cache_dir is non-empty the
+     * context loads its warm-start file from there at construction
+     * (best-effort) and saves at destruction. The default is the
+     * LISA_ARCH_CACHE environment knob ("" = no disk cache).
+     */
+    explicit ArchContext(const Accelerator &accel,
+                         std::string cache_dir = envCacheDir());
+    ~ArchContext();
+
+    ArchContext(const ArchContext &) = delete;
+    ArchContext &operator=(const ArchContext &) = delete;
+
+    const Accelerator &accel() const { return *arch; }
+
+    /** Content fingerprint of the accelerator (stable across runs). */
+    uint64_t fingerprint() const { return fp; }
+
+    /**
+     * The shared MRRG for @p ii, built on first request and cached.
+     * @p hit (optional) reports whether the graph was already cached.
+     */
+    std::shared_ptr<const Mrrg> mrrgFor(int ii, bool *hit = nullptr);
+
+    /**
+     * The shared OracleStore for (@p mrrg, @p fu_cost, @p reg_cost),
+     * created on first request (seeded from the warm-start payload when
+     * one matches) and cached by MRRG uid. The store retains @p mrrg.
+     */
+    std::shared_ptr<OracleStore>
+    oracleStoreFor(const std::shared_ptr<const Mrrg> &mrrg, double fu_cost,
+                   double reg_cost, bool *hit = nullptr);
+
+    /** Memoized per-op capable-PE table (warmed at construction). */
+    const std::vector<int> &
+    opCapablePes(dfg::OpCode op) const
+    {
+        return arch->opCapablePes(op);
+    }
+
+    /** @{ Warm-start (de)serialization. save() writes atomically
+     *  (tmp + rename); load() validates magic, version, fingerprint and
+     *  checksum and leaves the context unchanged on any mismatch. */
+    bool save(const std::string &path) const;
+    bool load(const std::string &path);
+    /** @} */
+
+    /** Path of this accelerator's cache file ("" without a cache dir). */
+    std::string cacheFilePath() const;
+
+    /** Value of the LISA_ARCH_CACHE environment knob ("" when unset). */
+    static std::string envCacheDir();
+
+  private:
+    struct WarmBinding
+    {
+        int ii = 0;
+        double fu = 0.0;
+        double reg = 0.0;
+        /** Canonical layer-0 hop tables per PE; empty = absent. */
+        std::vector<std::vector<int32_t>> canonicalHops;
+        /** Spatial cost tables per PE; empty = absent. */
+        std::vector<std::vector<double>> costTables;
+    };
+
+    struct StoreKey
+    {
+        uint64_t uid = 0;
+        double fu = 0.0;
+        double reg = 0.0;
+        bool
+        operator<(const StoreKey &o) const
+        {
+            if (uid != o.uid)
+                return uid < o.uid;
+            if (fu != o.fu)
+                return fu < o.fu;
+            return reg < o.reg;
+        }
+    };
+
+    void seedFromWarm(OracleStore &store);
+
+    const Accelerator *arch;
+    std::string dir;
+    uint64_t fp;
+    // Snapshotted at construction so the destructor's save() never touches
+    // *arch: registry-held contexts (bench harness) are destroyed during
+    // static teardown, after a main()-local accelerator has already died.
+    std::string archName;
+    int archPes;
+
+    mutable std::mutex mu;
+    std::map<int, std::shared_ptr<const Mrrg>> mrrgs;
+    std::map<StoreKey, std::shared_ptr<OracleStore>> stores;
+    std::vector<WarmBinding> warm; ///< loaded, not yet consumed
+};
+
+} // namespace lisa::arch
+
+#endif // LISA_ARCH_ARCH_CONTEXT_HH

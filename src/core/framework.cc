@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "arch/arch_context.hh"
 #include "nn/serialize.hh"
 #include "support/logging.hh"
 
@@ -13,6 +14,14 @@ LisaFramework::LisaFramework(const arch::Accelerator &accel,
                              FrameworkConfig config)
     : arch(&accel), cfg(std::move(config)), rng(cfg.seed)
 {
+    if (cfg.archContext) {
+        ctx = cfg.archContext;
+    } else {
+        // Owned fallback: warm-starts from LISA_ARCH_CACHE when set, so a
+        // fresh process skips oracle/MRRG derivation entirely.
+        ownedCtx = std::make_unique<arch::ArchContext>(accel);
+        ctx = ownedCtx.get();
+    }
     nets = std::make_unique<gnn::LabelModels>(rng);
 }
 
@@ -84,7 +93,7 @@ LisaFramework::prepare()
     }
 
     inform("generating training data for ", arch->name());
-    auto samples = generateTrainingSet(*arch, cfg.trainingData, rng);
+    auto samples = generateTrainingSet(*ctx, cfg.trainingData, rng);
     if (samples.empty())
         fatal("no training samples survived the filter for ", arch->name());
 
@@ -147,7 +156,7 @@ LisaFramework::compile(const dfg::Dfg &dfg,
         panic("compile: call prepare() first");
     dfg::Analysis analysis(dfg);
     LisaMapper mapper(predictLabels(dfg, analysis), cfg.mapper);
-    return map::searchMinIi(mapper, dfg, *arch, options);
+    return map::searchMinIi(mapper, dfg, *ctx, options);
 }
 
 } // namespace lisa::core

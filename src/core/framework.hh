@@ -21,6 +21,10 @@
 #include "gnn/accuracy.hh"
 #include "mapping/ii_search.hh"
 
+namespace lisa::arch {
+class ArchContext;
+} // namespace lisa::arch
+
 namespace lisa::core {
 
 /** Framework-level configuration. */
@@ -34,6 +38,12 @@ struct FrameworkConfig
     std::string cacheDir = "lisa_models";
     uint64_t seed = 7;
     LisaConfig mapper;
+    /** Shared arch-artifact cache (MRRGs, distance-oracle tables). When
+     *  null the framework owns a private one whose warm-start directory
+     *  follows LISA_ARCH_CACHE; pass a context to share artifacts with
+     *  other consumers of the same accelerator. Must outlive the
+     *  framework. */
+    arch::ArchContext *archContext = nullptr;
 };
 
 /** Portable compiler instance for one accelerator. */
@@ -50,6 +60,11 @@ class LisaFramework
     bool isPrepared() const { return ready; }
 
     const arch::Accelerator &accel() const { return *arch; }
+
+    /** The arch-artifact cache every compile()/prepare() runs through
+     *  (either the one injected via FrameworkConfig or the framework's
+     *  own). */
+    arch::ArchContext &archContext() const { return *ctx; }
 
     /** Predict the four labels of a DFG with the trained GNNs. */
     Labels predictLabels(const dfg::Dfg &dfg,
@@ -72,6 +87,8 @@ class LisaFramework
 
     const arch::Accelerator *arch;
     FrameworkConfig cfg;
+    std::unique_ptr<arch::ArchContext> ownedCtx;
+    arch::ArchContext *ctx;
     mutable Rng rng;
     std::unique_ptr<gnn::LabelModels> nets;
     std::vector<double> accuracies;

@@ -207,6 +207,7 @@ LisaMapper::attemptStream(const map::MapContext &ctx)
     Stopwatch timer;
     map::Mapping mapping(ctx.dfg, ctx.mrrg);
     map::RouterWorkspace ws;
+    ws.archContext = ctx.archCtx;
     map::MapperStats stats;
 
     long attempts = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "arch/arch_context.hh"
 #include "core/label_extract.hh"
 #include "core/lisa_mapper.hh"
 #include "mapping/ii_search.hh"
@@ -24,7 +25,7 @@ struct Candidate
 } // namespace
 
 std::optional<RefinedLabels>
-refineLabels(const dfg::Dfg &dfg, const arch::Accelerator &accel,
+refineLabels(const dfg::Dfg &dfg, arch::ArchContext &context,
              const TrainingDataConfig &config, Rng &rng)
 {
     dfg::Analysis analysis(dfg);
@@ -63,7 +64,7 @@ refineLabels(const dfg::Dfg &dfg, const arch::Accelerator &accel,
                 opts.totalBudget = config.totalBudget;
                 opts.seed = seeds[i];
                 map::SearchResult result =
-                    map::searchMinIi(mapper, dfg, accel, opts);
+                    map::searchMinIi(mapper, dfg, context, opts);
                 miis[i] = std::max(1, result.mii);
                 if (!result.success)
                     return; // keep previous labels (SA is random)
@@ -113,6 +114,14 @@ refineLabels(const dfg::Dfg &dfg, const arch::Accelerator &accel,
     return refined;
 }
 
+std::optional<RefinedLabels>
+refineLabels(const dfg::Dfg &dfg, const arch::Accelerator &accel,
+             const TrainingDataConfig &config, Rng &rng)
+{
+    arch::ArchContext context(accel, std::string());
+    return refineLabels(dfg, context, config, rng);
+}
+
 bool
 passesFilter(const RefinedLabels &refined, const TrainingDataConfig &config)
 {
@@ -127,9 +136,10 @@ passesFilter(const RefinedLabels &refined, const TrainingDataConfig &config)
 }
 
 std::vector<gnn::LabeledSample>
-generateTrainingSet(const arch::Accelerator &accel,
+generateTrainingSet(arch::ArchContext &context,
                     const TrainingDataConfig &config, Rng &rng)
 {
+    const arch::Accelerator &accel = context.accel();
     dfg::GeneratorConfig gen = config.generator;
     // Spatial-only accelerators can't host DFGs bigger than the PE count
     // (stores are appended on top of the core budget, and loads compete
@@ -166,7 +176,7 @@ generateTrainingSet(const arch::Accelerator &accel,
     ThreadPool::global().parallelFor(config.numDfgs, [&](size_t i) {
         const dfg::Dfg &graph = graphs[i];
         Rng sub(seeds[i]);
-        auto refined = refineLabels(graph, accel, config, sub);
+        auto refined = refineLabels(graph, context, config, sub);
         if (!refined || !passesFilter(*refined, config))
             return;
         dfg::Analysis analysis(graph);
@@ -192,6 +202,14 @@ generateTrainingSet(const arch::Accelerator &accel,
     inform("training set for ", accel.name(), ": kept ", kept, ", dropped ",
            dropped);
     return samples;
+}
+
+std::vector<gnn::LabeledSample>
+generateTrainingSet(const arch::Accelerator &accel,
+                    const TrainingDataConfig &config, Rng &rng)
+{
+    arch::ArchContext context(accel, std::string());
+    return generateTrainingSet(context, config, rng);
 }
 
 } // namespace lisa::core

@@ -23,6 +23,10 @@
 #include "dfg/generator.hh"
 #include "gnn/trainer.hh"
 
+namespace lisa::arch {
+class ArchContext;
+} // namespace lisa::arch
+
 namespace lisa::core {
 
 /** Knobs of the training-data pipeline. */
@@ -58,9 +62,18 @@ struct RefinedLabels
 };
 
 /**
- * Run the iterative label-refinement loop for one DFG.
+ * Run the iterative label-refinement loop for one DFG. All refinement
+ * sweeps draw their MRRGs and distance-oracle tables from @p context, so
+ * refining many DFGs against one context derives each artifact once.
  * @return std::nullopt when no mapping was ever found.
  */
+std::optional<RefinedLabels> refineLabels(const dfg::Dfg &dfg,
+                                          arch::ArchContext &context,
+                                          const TrainingDataConfig &config,
+                                          Rng &rng);
+
+/** Compatibility wrapper: refines through a transient, disk-less
+ *  ArchContext scoped to this call. */
 std::optional<RefinedLabels> refineLabels(const dfg::Dfg &dfg,
                                           const arch::Accelerator &accel,
                                           const TrainingDataConfig &config,
@@ -73,8 +86,16 @@ bool passesFilter(const RefinedLabels &refined,
 
 /**
  * Full pipeline: generate DFGs, refine labels, filter, and package
- * attribute/label samples for the GNN trainer.
+ * attribute/label samples for the GNN trainer. Every concurrent
+ * refinement shares @p context, so the whole set amortizes one MRRG and
+ * one oracle-table build per II.
  */
+std::vector<gnn::LabeledSample>
+generateTrainingSet(arch::ArchContext &context,
+                    const TrainingDataConfig &config, Rng &rng);
+
+/** Compatibility wrapper: runs through a transient, disk-less
+ *  ArchContext scoped to this call. */
 std::vector<gnn::LabeledSample>
 generateTrainingSet(const arch::Accelerator &accel,
                     const TrainingDataConfig &config, Rng &rng);

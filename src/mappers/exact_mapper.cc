@@ -131,6 +131,7 @@ ExactMapper::tryMap(const MapContext &ctx)
     Mapping mapping(ctx.dfg, ctx.mrrg);
     Dfs dfs{ctx, mapping, cfg, ctx.analysis.topoOrder(), Stopwatch{},
             false, {}};
+    dfs.ws.archContext = ctx.archCtx;
     const bool found = dfs.place(0) && mapping.valid();
     if (ctx.stats) {
         MapperStats stats;

@@ -89,7 +89,8 @@ runAttemptPortfolio(
                            ctx.mrrg,         ctx.timeBudget,
                            ctx.rng.split(k), 1,
                            ctx.stop,         &firstSuccess,
-                           ctx.attempts,     &streamStats[k]};
+                           ctx.attempts,     &streamStats[k],
+                           ctx.archCtx};
             auto m = attempt(sub);
             if (m) {
                 results[k] = std::move(m);

@@ -20,6 +20,10 @@
 #include "mapping/mapping.hh"
 #include "support/random.hh"
 
+namespace lisa::arch {
+class ArchContext;
+} // namespace lisa::arch
+
 namespace lisa::map {
 
 /**
@@ -53,6 +57,10 @@ struct MapContext
      *  parallelism > 1 the portfolio gives every stream a private sink
      *  and merges after the join, so no hot-path synchronization. */
     MapperStats *stats = nullptr;
+    /** Shared arch-artifact cache (MRRGs, oracle stores). Mappers hand it
+     *  to their RouterWorkspace so concurrent attempt streams at the same
+     *  II share one immutable oracle set; null = per-workspace tables. */
+    arch::ArchContext *archCtx = nullptr;
 
     bool
     cancelled() const

@@ -29,6 +29,8 @@ MapperStats::toJson() const
        << "\"dpCellsSkipped\":" << router.dpCellsSkipped << ","
        << "\"oracleBuilds\":" << router.oracleBuilds << ","
        << "\"oracleHits\":" << router.oracleHits << ","
+       << "\"contextHits\":" << router.contextHits << ","
+       << "\"contextMisses\":" << router.contextMisses << ","
        << "\"routeSeconds\":" << router.routeSeconds << ","
        << "\"movesCommitted\":" << movesCommitted << ","
        << "\"movesRolledBack\":" << movesRolledBack << ","

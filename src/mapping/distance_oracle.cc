@@ -1,162 +1,114 @@
 #include "mapping/distance_oracle.hh"
 
-#include <algorithm>
+#include "arch/arch_context.hh"
+#include "mapping/router_workspace.hh"
 
 namespace lisa::map {
 
-namespace {
-
-/** Min-heap comparator matching the router's lexicographic tie order. */
-struct HeapGreater
-{
-    bool
-    operator()(const std::pair<double, int> &a,
-               const std::pair<double, int> &b) const
-    {
-        return a > b;
-    }
-};
-
-} // namespace
-
 void
-DistanceOracle::bind(const arch::Mrrg &graph, const RouterCosts &costs)
+DistanceOracle::bind(const std::shared_ptr<const arch::Mrrg> &graph,
+                     const RouterCosts &costs, arch::ArchContext *context,
+                     RouterCounters &counters)
 {
-    if (mrrgUid == graph.uid() && fuCost == costs.fuCost &&
-        regCost == costs.regCost)
+    if (mrrgUid == graph->uid() && fuCost == costs.fuCost &&
+        regCost == costs.regCost && boundContext == context)
         return;
 
-    mrrg = &graph;
-    mrrgUid = graph.uid();
+    mrrg = graph.get();
+    mrrgUid = graph->uid();
     fuCost = costs.fuCost;
     regCost = costs.regCost;
+    boundContext = context;
 
-    const size_t n = static_cast<size_t>(graph.numResources());
+    bool shared_hit = false;
+    if (context) {
+        store = context->oracleStoreFor(graph, fuCost, regCost,
+                                        &shared_hit);
+        privateStore = false;
+    } else {
+        store = arch::makePrivateOracleStore(graph, fuCost, regCost);
+        privateStore = true;
+    }
+    if (shared_hit)
+        ++counters.contextHits;
+    else
+        ++counters.contextMisses;
+
+    baseView = store->baseCosts();
+
+    const size_t pes = static_cast<size_t>(graph->accel().numPes());
+    const size_t ii = static_cast<size_t>(graph->ii());
     ++growthEvents;
-    // lint:allow-growth (rebuilt once per (MRRG, costs) binding, counted)
-    base.assign(n, 0.0);
-    const auto kinds = graph.resourceKinds();
-    for (size_t id = 0; id < n; ++id)
-        base[id] =
-            (kinds[id] == arch::ResourceKind::Fu) ? fuCost : regCost;
-
-    const size_t pes = static_cast<size_t>(graph.accel().numPes());
-    const size_t ii = static_cast<size_t>(graph.ii());
-    hopTables.clear();
-    // lint:allow-growth (table directory, rebuilt once per binding)
-    hopTables.resize(ii * pes);
-    costTables.clear();
-    // lint:allow-growth (table directory, rebuilt once per binding)
-    costTables.resize(pes);
+    // lint:allow-growth (view directory, rebuilt once per binding, counted)
+    hopViews.assign(ii * pes, {});
+    // lint:allow-growth (view directory, rebuilt once per binding, counted)
+    costViews.assign(pes, {});
 }
 
 std::span<const int32_t>
-DistanceOracle::minHopsTo(PeId pe, AbsTime time, uint64_t &builds,
-                          uint64_t &hits)
+DistanceOracle::minHopsTo(PeId pe, AbsTime time, RouterCounters &counters)
 {
     const int ii = mrrg->ii();
     const int layer = ((time % ii) + ii) % ii;
-    auto &tab = hopTables[static_cast<size_t>(layer) *
+    auto &view = hopViews[static_cast<size_t>(layer) *
                               mrrg->accel().numPes() +
                           static_cast<size_t>(pe.value())];
-    if (tab.empty()) {
-        ++builds;
-        ++growthEvents;
-        buildHops(tab, pe, Layer{layer});
-    } else {
-        ++hits;
+    if (!view.empty()) {
+        ++counters.oracleHits;
+        return view;
     }
-    return {tab.data(), tab.size()};
+    // Local miss: resolve through the shared store. A published table is
+    // a lock-free read; otherwise the store builds (or rotates) it once
+    // for every workspace on this graph.
+    if (const auto *tab = store->hopTable(layer, pe.value())) {
+        ++counters.contextHits;
+        view = {tab->data(), tab->size()};
+        return view;
+    }
+    uint64_t builds = 0, misses = 0, hits = 0;
+    const auto &tab =
+        store->ensureHopTable(layer, pe.value(), builds, misses, hits);
+    counters.oracleBuilds += builds;
+    counters.contextMisses += misses;
+    counters.contextHits += hits;
+    growthEvents += builds + misses; // store allocated on our behalf
+    view = {tab.data(), tab.size()};
+    return view;
 }
 
 std::span<const double>
-DistanceOracle::minCostTo(PeId pe, uint64_t &builds, uint64_t &hits)
+DistanceOracle::minCostTo(PeId pe, RouterCounters &counters)
 {
-    auto &tab = costTables[static_cast<size_t>(pe.value())];
-    if (tab.empty()) {
-        ++builds;
-        ++growthEvents;
-        buildCosts(tab, pe);
-    } else {
-        ++hits;
+    auto &view = costViews[static_cast<size_t>(pe.value())];
+    if (!view.empty()) {
+        ++counters.oracleHits;
+        return view;
     }
-    return {tab.data(), tab.size()};
-}
-
-void
-DistanceOracle::buildHops(std::vector<int32_t> &tab, PeId pe, Layer layer)
-{
-    // lint:allow-growth (one-off table build, counted as a growth event)
-    tab.assign(static_cast<size_t>(mrrg->numResources()), -1);
-    bfsQueue.clear();
-    for (int g : mrrg->feeders(pe, AbsTime{layer.value()})) {
-        if (tab[static_cast<size_t>(g)] < 0) {
-            tab[static_cast<size_t>(g)] = 0;
-            // lint:allow-growth (amortized BFS scratch, build-time only)
-            bfsQueue.push_back(g);
-        }
+    if (const auto *tab = store->costTable(pe.value())) {
+        ++counters.contextHits;
+        view = {tab->data(), tab->size()};
+        return view;
     }
-    for (size_t head = 0; head < bfsQueue.size(); ++head) {
-        const int n = bfsQueue[head];
-        const int32_t next = tab[static_cast<size_t>(n)] + 1;
-        for (int m : mrrg->movePreds(n)) {
-            if (tab[static_cast<size_t>(m)] < 0) {
-                tab[static_cast<size_t>(m)] = next;
-                // lint:allow-growth (amortized BFS scratch, build-time only)
-                bfsQueue.push_back(m);
-            }
-        }
-    }
-}
-
-void
-DistanceOracle::buildCosts(std::vector<double> &tab, PeId pe)
-{
-    // lint:allow-growth (one-off table build, counted as a growth event)
-    tab.assign(static_cast<size_t>(mrrg->numResources()), kInf);
-    dijHeap.clear();
-    for (int g : mrrg->feeders(pe, AbsTime{0})) {
-        if (tab[static_cast<size_t>(g)] > 0.0) {
-            tab[static_cast<size_t>(g)] = 0.0;
-            // lint:allow-growth (amortized Dijkstra scratch, build-time only)
-            dijHeap.emplace_back(0.0, g);
-        }
-    }
-    std::make_heap(dijHeap.begin(), dijHeap.end(), HeapGreater{});
-    while (!dijHeap.empty()) {
-        std::pop_heap(dijHeap.begin(), dijHeap.end(), HeapGreater{});
-        auto [d, n] = dijHeap.back();
-        dijHeap.pop_back();
-        if (d > tab[static_cast<size_t>(n)])
-            continue;
-        // A forward hop into n costs base[n]; relaxing a predecessor m
-        // extends the (reversed) path n -> goal to m -> n -> goal.
-        const double cand = d + base[static_cast<size_t>(n)];
-        for (int m : mrrg->movePreds(n)) {
-            if (cand < tab[static_cast<size_t>(m)]) {
-                tab[static_cast<size_t>(m)] = cand;
-                // lint:allow-growth (amortized Dijkstra scratch, build-time only)
-                dijHeap.emplace_back(cand, m);
-                std::push_heap(dijHeap.begin(), dijHeap.end(),
-                               HeapGreater{});
-            }
-        }
-    }
+    uint64_t builds = 0, misses = 0, hits = 0;
+    const auto &tab =
+        store->ensureCostTable(pe.value(), builds, misses, hits);
+    counters.oracleBuilds += builds;
+    counters.contextMisses += misses;
+    counters.contextHits += hits;
+    growthEvents += builds + misses;
+    view = {tab.data(), tab.size()};
+    return view;
 }
 
 size_t
 DistanceOracle::capacityBytes() const
 {
-    auto bytes = [](const auto &v) {
-        return v.capacity() *
-               sizeof(typename std::decay_t<decltype(v)>::value_type);
-    };
-    size_t total = bytes(base) + bytes(hopTables) + bytes(costTables) +
-                   bytes(bfsQueue) + bytes(dijHeap);
-    for (const auto &t : hopTables)
-        total += bytes(t);
-    for (const auto &t : costTables)
-        total += bytes(t);
+    size_t total = hopViews.capacity() * sizeof(hopViews[0]) +
+                   costViews.capacity() * sizeof(costViews[0]);
+    // A private store's tables are effectively owned by this workspace;
+    // a context-shared store is counted by its owner, not per view.
+    if (privateStore && store)
+        total += store->capacityBytes();
     return total;
 }
 

@@ -6,9 +6,8 @@
  * holders towards the consumer's feeder set. On the *uncongested* graph —
  * every resource priced at its static base cost, no occupancy — the
  * distance from any resource to a given feeder set is a fixed property of
- * the (MRRG, cost-knob) pair. The oracle precomputes these distances
- * backwards from each requested destination and caches them, giving the
- * kernels two admissible lower bounds:
+ * the (MRRG, cost-knob) pair. The tables give the kernels two admissible
+ * lower bounds:
  *
  *  - minHopsTo(pe, time): minimum number of moves from each resource to
  *    the feeder set of FU(pe, time), from a reverse BFS over the MRRG's
@@ -32,11 +31,18 @@
  * the undirected search (tests/test_router_equiv.cc pins this against the
  * LISA_ROUTER_REFERENCE fallback).
  *
- * Tables are built lazily per destination key and cached until bind()
- * observes a different MRRG uid or cost knobs (epoch invalidation — the
- * uid, not the address, identifies the graph). The oracle is part of a
- * RouterWorkspace and is not thread-safe; builds are counted as
- * allocation events so the zero-allocation steady-state tests cover it.
+ * Ownership: since the tables are pure functions of (MRRG, cost knobs),
+ * they live in a thread-safe arch::OracleStore shared by every workspace
+ * mapping on the same graph (arch/arch_context.hh). This class is the
+ * per-workspace *front*: it holds span views into the store's published
+ * tables so the steady-state lookup is a plain vector read with no
+ * synchronization. bind() re-acquires the store when the MRRG uid, the
+ * cost knobs, or the shared context change (epoch invalidation — the uid,
+ * not the address, identifies the graph); without a context the front
+ * falls back to a private store and behaves exactly like the historical
+ * per-workspace oracle. The front is part of a RouterWorkspace and is not
+ * thread-safe; table fetches count as allocation events so the
+ * zero-allocation steady-state tests cover it.
  */
 
 #ifndef LISA_MAPPING_DISTANCE_ORACLE_HH
@@ -44,52 +50,60 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
-#include <utility>
 #include <vector>
 
 #include "arch/mrrg.hh"
 #include "mapping/router.hh"
 
+namespace lisa::arch {
+class ArchContext;
+class OracleStore;
+} // namespace lisa::arch
+
 namespace lisa::map {
 
-/** Lazily-built static-distance tables over one (MRRG, costs) binding. */
+struct RouterCounters;
+
+/** Per-workspace view cache over one shared (MRRG, costs) table store. */
 class DistanceOracle
 {
   public:
     static constexpr double kInf = std::numeric_limits<double>::infinity();
 
     /**
-     * Bind to @p mrrg priced by @p costs. A no-op while the MRRG uid and
-     * the base-cost knobs are unchanged; otherwise every cached table is
-     * invalidated and the per-resource base-cost array is rebuilt.
+     * Bind to @p mrrg priced by @p costs, resolving tables through
+     * @p context when non-null (workspaces then share one immutable
+     * store) or a private store otherwise. A no-op while the MRRG uid,
+     * the base-cost knobs and the context are unchanged; otherwise every
+     * cached view is invalidated and the store is re-acquired.
+     * Store-acquisition hits/misses count into @p counters.
      */
-    void bind(const arch::Mrrg &mrrg, const RouterCosts &costs);
+    void bind(const std::shared_ptr<const arch::Mrrg> &mrrg,
+              const RouterCosts &costs, arch::ArchContext *context,
+              RouterCounters &counters);
 
     /**
      * Per-resource static entry cost (fuCost / regCost by resource kind),
      * hoisted out of the kernels' relaxation loops. Valid after bind().
      */
-    std::span<const double> baseCosts() const
-    {
-        return {base.data(), base.size()};
-    }
+    std::span<const double> baseCosts() const { return baseView; }
 
     /**
      * Minimum moves from each resource to the feeder set of FU(@p pe,
-     * @p time), -1 when unreachable. Builds the table on first use per
-     * (pe, time mod II) key; @p builds / @p hits count into the caller's
-     * RouterCounters.
+     * @p time), -1 when unreachable. Fetches the shared table on first
+     * use per (pe, time mod II) key; oracleBuilds / oracleHits /
+     * contextHits / contextMisses count into @p counters.
      */
     std::span<const int32_t> minHopsTo(PeId pe, AbsTime time,
-                                       uint64_t &builds, uint64_t &hits);
+                                       RouterCounters &counters);
 
     /**
      * Minimum static cost from each resource to the feeder set of
      * FU(@p pe, 0), kInf when unreachable. Spatial-only graphs (II == 1).
      */
-    std::span<const double> minCostTo(PeId pe, uint64_t &builds,
-                                      uint64_t &hits);
+    std::span<const double> minCostTo(PeId pe, RouterCounters &counters);
 
     /** @{ Allocation introspection, aggregated into the workspace's. */
     size_t capacityBytes() const;
@@ -97,24 +111,21 @@ class DistanceOracle
     /** @} */
 
   private:
-    void buildHops(std::vector<int32_t> &tab, PeId pe, Layer layer);
-    void buildCosts(std::vector<double> &tab, PeId pe);
-
+    std::shared_ptr<arch::OracleStore> store;
     const arch::Mrrg *mrrg = nullptr;
     uint64_t mrrgUid = 0; ///< identity of the bound graph, 0 = unbound
     double fuCost = 0.0;
     double regCost = 0.0;
+    arch::ArchContext *boundContext = nullptr;
+    bool privateStore = false; ///< store is exclusive to this front
     uint64_t growthEvents = 0;
 
-    std::vector<double> base; ///< per-resource static entry cost
+    std::span<const double> baseView; ///< store's base-cost array
 
-    /** Hop tables, key = (time mod II) * numPes + pe; empty = unbuilt. */
-    std::vector<std::vector<int32_t>> hopTables;
-    /** Cost tables, key = pe (single layer); empty = unbuilt. */
-    std::vector<std::vector<double>> costTables;
-
-    std::vector<int> bfsQueue;                   ///< reverse-BFS scratch
-    std::vector<std::pair<double, int>> dijHeap; ///< reverse-Dijkstra scratch
+    /** Hop views, key = (time mod II) * numPes + pe; empty = unfetched. */
+    std::vector<std::span<const int32_t>> hopViews;
+    /** Cost views, key = pe (single layer); empty = unfetched. */
+    std::vector<std::span<const double>> costViews;
 };
 
 } // namespace lisa::map

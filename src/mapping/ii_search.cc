@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "arch/arch_context.hh"
 #include "support/logging.hh"
 #include "support/stopwatch.hh"
 #include "verify/verify.hh"
@@ -57,9 +58,10 @@ minimumIi(const dfg::Dfg &dfg, const dfg::Analysis &analysis,
 }
 
 SearchResult
-searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
-            const arch::Accelerator &accel, const SearchOptions &options)
+searchMinIi(Mapper &mapper, const dfg::Dfg &dfg, arch::ArchContext &context,
+            const SearchOptions &options)
 {
+    const arch::Accelerator &accel = context.accel();
     SearchResult result;
     Stopwatch total;
     dfg::Analysis analysis(dfg);
@@ -69,11 +71,33 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
     const int threads = std::max(1, options.threads);
     std::atomic<long> attempts{0};
 
+    // Feasibility is derived exactly once per search; both the spatial
+    // single-shot and the temporal sweep start from the same bound.
+    const int res_mii = resourceMii(dfg, accel);
+
+    // Counts one mrrgFor acquisition into the context counters.
+    auto acquire_mrrg = [&](int ii) {
+        bool hit = false;
+        auto mrrg = context.mrrgFor(ii, &hit);
+        if (hit)
+            ++result.stats.router.contextHits;
+        else
+            ++result.stats.router.contextMisses;
+        return mrrg;
+    };
+
     if (!accel.temporalMapping()) {
         // Spatial mapping: single configuration, one attempt.
         result.mii = 1;
-        if (resourceMii(dfg, accel) < 0 ||
+        if (res_mii < 0 ||
             dfg.numNodes() > static_cast<size_t>(accel.numPes())) {
+            result.seconds = total.seconds();
+            return result;
+        }
+        // Honor external cancellation before launching the one attempt,
+        // exactly like the temporal loop does at the top of each II.
+        if (options.stop &&
+            options.stop->load(std::memory_order_relaxed)) {
             result.seconds = total.seconds();
             return result;
         }
@@ -87,11 +111,12 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
             result.seconds = total.seconds();
             return result;
         }
-        auto mrrg = std::make_shared<const arch::Mrrg>(accel, 1);
+        auto mrrg = acquire_mrrg(1);
         MapContext ctx{dfg,           analysis,     mrrg,
                        budget,                      base.split(1),
                        threads,       options.stop, nullptr,
-                       &attempts,     &result.stats};
+                       &attempts,     &result.stats,
+                       &context};
         auto mapping = mapper.tryMap(ctx);
         result.seconds = total.seconds();
         result.attempts = attempts.load();
@@ -109,11 +134,11 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
         return result;
     }
 
-    int mii = minimumIi(dfg, analysis, accel);
-    if (mii < 0) {
+    if (res_mii < 0) {
         result.seconds = total.seconds();
         return result; // some op unsupported anywhere
     }
+    const int mii = std::max(res_mii, analysis.recMii());
     result.mii = mii;
 
     for (int ii = mii; ii <= accel.maxIi(); ++ii) {
@@ -131,7 +156,7 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
         const double budget = std::min(options.perIiBudget, remaining);
         if (budget <= 0.0)
             break; // no time remains: skip the attempt entirely
-        auto mrrg = std::make_shared<const arch::Mrrg>(accel, ii);
+        auto mrrg = acquire_mrrg(ii);
         MapContext ctx{dfg,
                        analysis,
                        mrrg,
@@ -141,7 +166,8 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
                        options.stop,
                        nullptr,
                        &attempts,
-                       &result.stats};
+                       &result.stats,
+                       &context};
         auto mapping = mapper.tryMap(ctx);
         if (mapping) {
             // Final-answer check, unconditional in every build type.
@@ -158,6 +184,17 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
     result.seconds = total.seconds();
     result.attempts = attempts.load();
     return result;
+}
+
+SearchResult
+searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
+            const arch::Accelerator &accel, const SearchOptions &options)
+{
+    // Transient disk-less context: identical artifacts, scoped to this
+    // sweep (so temporal II attempts still share oracle tables, and
+    // nothing leaks across one-shot calls).
+    arch::ArchContext context(accel, std::string());
+    return searchMinIi(mapper, dfg, context, options);
 }
 
 } // namespace lisa::map

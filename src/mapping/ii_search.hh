@@ -67,8 +67,23 @@ int minimumIi(const dfg::Dfg &dfg, const dfg::Analysis &analysis,
               const arch::Accelerator &accel);
 
 /**
- * Run the II sweep. Spatial-only accelerators get a single attempt at
- * II == 1 and report II 1 on success.
+ * Run the II sweep against a shared ArchContext: MRRGs and oracle tables
+ * come from (and stay in) @p context, so repeated sweeps over the same
+ * accelerator — other kernels, other mappers, later II attempts — reuse
+ * them instead of re-deriving per call. Context reuse is counted into
+ * SearchResult::stats (router.contextHits / contextMisses). Spatial-only
+ * accelerators get a single attempt at II == 1 and report II 1 on
+ * success.
+ */
+SearchResult searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
+                         arch::ArchContext &context,
+                         const SearchOptions &options);
+
+/**
+ * Compatibility wrapper: runs the sweep through a transient, disk-less
+ * ArchContext scoped to this call. One-shot callers lose nothing; anyone
+ * mapping a stream of DFGs should hold a context and use the overload
+ * above.
  */
 SearchResult searchMinIi(Mapper &mapper, const dfg::Dfg &dfg,
                          const arch::Accelerator &accel,

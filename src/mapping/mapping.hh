@@ -71,7 +71,7 @@ class Mapping
 
     const dfg::Dfg &dfg() const { return *graph; }
     const arch::Mrrg &mrrg() const { return *rrg; }
-    std::shared_ptr<const arch::Mrrg> mrrgPtr() const { return rrg; }
+    const std::shared_ptr<const arch::Mrrg> &mrrgPtr() const { return rrg; }
 
     /** Largest allowed absolute schedule time (exclusive). */
     int horizon() const { return maxTime; }

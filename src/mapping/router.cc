@@ -291,10 +291,8 @@ routeTemporal(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
     const int per_layer = mrrg.perLayerCount();
     const int ii = mrrg.ii();
 
-    ws.oracle.bind(mrrg, costs);
-    const auto hops = ws.oracle.minHopsTo(dst.pe, dst.time,
-                                          ws.counters.oracleBuilds,
-                                          ws.counters.oracleHits);
+    ws.oracle.bind(mapping.mrrgPtr(), costs, ws.archContext, ws.counters);
+    const auto hops = ws.oracle.minHopsTo(dst.pe, dst.time, ws.counters);
     const auto base = ws.oracle.baseCosts();
 
     collectSeeds(mapping, edge.src, ws.seeds);
@@ -423,9 +421,8 @@ routeSpatial(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
     const Placement &dst = mapping.placement(edge.dst);
     const int64_t key = mapping.instanceKey(edge.src, AbsTime{0});
 
-    ws.oracle.bind(mrrg, costs);
-    const auto h = ws.oracle.minCostTo(dst.pe, ws.counters.oracleBuilds,
-                                       ws.counters.oracleHits);
+    ws.oracle.bind(mapping.mrrgPtr(), costs, ws.archContext, ws.counters);
+    const auto h = ws.oracle.minCostTo(dst.pe, ws.counters);
     const auto base = ws.oracle.baseCosts();
 
     ws.beginSpatial(mrrg.numResources());

@@ -62,6 +62,11 @@ struct RouterCounters
     uint64_t oracleBuilds = 0;
     /** Distance-oracle lookups served from a cached table. */
     uint64_t oracleHits = 0;
+    /** Shared-context artifacts reused (MRRG graphs, oracle stores and
+     *  published tables another consumer already derived). */
+    uint64_t contextHits = 0;
+    /** Shared-context artifacts derived fresh (first consumer pays). */
+    uint64_t contextMisses = 0;
     /** Wall-clock seconds spent inside routeEdge. */
     double routeSeconds = 0.0;
 
@@ -76,6 +81,8 @@ struct RouterCounters
         dpCellsSkipped += o.dpCellsSkipped;
         oracleBuilds += o.oracleBuilds;
         oracleHits += o.oracleHits;
+        contextHits += o.contextHits;
+        contextMisses += o.contextMisses;
         routeSeconds += o.routeSeconds;
     }
 
@@ -227,9 +234,14 @@ class RouterWorkspace
     /** Observability counters, accumulated across calls. */
     RouterCounters counters;
 
-    /** Static-distance tables for goal-directed search (lazily built,
-     *  cached across calls, invalidated on MRRG/cost changes). */
+    /** Static-distance table views for goal-directed search (fetched
+     *  lazily from the shared store, invalidated on MRRG/cost changes). */
     DistanceOracle oracle;
+
+    /** Shared arch-artifact cache to resolve oracle tables through; null
+     *  = build a workspace-private store (historical behavior). Set by
+     *  the mappers from MapContext::archCtx before routing. */
+    arch::ArchContext *archContext = nullptr;
 
     /** When true, routeEdge runs the undirected pre-oracle kernels
      *  (exact pre-change algorithm). Initialized from the

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Tests for the shared arch-artifact cache (arch::ArchContext) and its
+ * OracleStore: layer-rotation exactness against independent reference
+ * searches, MRRG/store reuse, warm-start (de)serialization with
+ * corruption/version/fingerprint rejection, and warm-vs-cold mapping
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/arch_context.hh"
+#include "arch/cgra.hh"
+#include "arch/systolic.hh"
+#include "mappers/sa_mapper.hh"
+#include "mapping/ii_search.hh"
+#include "verify/mapping_io.hh"
+#include "verify/verify.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace lisa;
+
+/** Independent reference: reverse BFS over movePreds from the feeder set
+ *  of FU(pe, time) — the definition the store's canonical-build-plus-
+ *  rotation scheme must reproduce exactly. */
+std::vector<int32_t>
+referenceHops(const arch::Mrrg &mrrg, int pe, int time)
+{
+    std::vector<int32_t> dist(static_cast<size_t>(mrrg.numResources()), -1);
+    std::vector<int> queue;
+    for (int g : mrrg.feeders(PeId{pe}, AbsTime{time})) {
+        if (dist[static_cast<size_t>(g)] < 0) {
+            dist[static_cast<size_t>(g)] = 0;
+            queue.push_back(g);
+        }
+    }
+    for (size_t head = 0; head < queue.size(); ++head) {
+        const int n = queue[head];
+        const int32_t next = dist[static_cast<size_t>(n)] + 1;
+        for (int m : mrrg.movePreds(n)) {
+            if (dist[static_cast<size_t>(m)] < 0) {
+                dist[static_cast<size_t>(m)] = next;
+                queue.push_back(m);
+            }
+        }
+    }
+    return dist;
+}
+
+/** Independent reference: Bellman-Ford-style relaxation to a fixpoint for
+ *  the spatial min-cost table. */
+std::vector<double>
+referenceCosts(const arch::Mrrg &mrrg, std::span<const double> base, int pe)
+{
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(static_cast<size_t>(mrrg.numResources()), inf);
+    for (int g : mrrg.feeders(PeId{pe}, AbsTime{0}))
+        dist[static_cast<size_t>(g)] = 0.0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int n = 0; n < mrrg.numResources(); ++n) {
+            if (dist[static_cast<size_t>(n)] == inf)
+                continue;
+            const double cand =
+                dist[static_cast<size_t>(n)] + base[static_cast<size_t>(n)];
+            for (int m : mrrg.movePreds(n)) {
+                if (cand < dist[static_cast<size_t>(m)]) {
+                    dist[static_cast<size_t>(m)] = cand;
+                    changed = true;
+                }
+            }
+        }
+    }
+    return dist;
+}
+
+TEST(OracleStore, RotatedHopTablesMatchDirectBfs)
+{
+    arch::CgraArch accel(arch::baselineCgra(3, 3));
+    arch::ArchContext ctx(accel, std::string());
+    const int ii = 3;
+    auto mrrg = ctx.mrrgFor(ii);
+    auto store = ctx.oracleStoreFor(mrrg, 1.0, 0.7);
+    uint64_t builds = 0, misses = 0, hits = 0;
+    for (int pe = 0; pe < accel.numPes(); ++pe) {
+        for (int layer = 0; layer < ii; ++layer) {
+            const auto &tab =
+                store->ensureHopTable(layer, pe, builds, misses, hits);
+            const auto ref = referenceHops(*mrrg, pe, layer);
+            ASSERT_EQ(tab.size(), ref.size());
+            for (size_t i = 0; i < ref.size(); ++i) {
+                ASSERT_EQ(tab[i], ref[i])
+                    << "pe=" << pe << " layer=" << layer << " res=" << i;
+            }
+        }
+    }
+    // One canonical BFS per PE; every other layer is a rotation.
+    EXPECT_EQ(builds, static_cast<uint64_t>(accel.numPes()));
+    EXPECT_EQ(misses, static_cast<uint64_t>(accel.numPes() * ii));
+}
+
+TEST(OracleStore, SpatialCostTablesMatchReferenceRelaxation)
+{
+    arch::SystolicArch accel(3, 4);
+    arch::ArchContext ctx(accel, std::string());
+    auto mrrg = ctx.mrrgFor(1);
+    auto store = ctx.oracleStoreFor(mrrg, 1.0, 0.7);
+    uint64_t builds = 0, misses = 0, hits = 0;
+    for (int pe = 0; pe < accel.numPes(); ++pe) {
+        const auto &tab = store->ensureCostTable(pe, builds, misses, hits);
+        const auto ref = referenceCosts(*mrrg, store->baseCosts(), pe);
+        ASSERT_EQ(tab.size(), ref.size());
+        for (size_t i = 0; i < ref.size(); ++i)
+            ASSERT_DOUBLE_EQ(tab[i], ref[i]) << "pe=" << pe << " res=" << i;
+    }
+    EXPECT_EQ(builds, static_cast<uint64_t>(accel.numPes()));
+}
+
+TEST(ArchContext, MrrgAndStoreAreSharedAcrossRequests)
+{
+    arch::CgraArch accel(arch::baselineCgra(4, 4));
+    arch::ArchContext ctx(accel, std::string());
+
+    bool hit = true;
+    auto a = ctx.mrrgFor(2, &hit);
+    EXPECT_FALSE(hit);
+    auto b = ctx.mrrgFor(2, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(a.get(), b.get());
+    auto c = ctx.mrrgFor(3, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_NE(a.get(), c.get());
+
+    auto s1 = ctx.oracleStoreFor(a, 1.0, 0.7, &hit);
+    EXPECT_FALSE(hit);
+    auto s2 = ctx.oracleStoreFor(b, 1.0, 0.7, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(s1.get(), s2.get());
+    // Different cost knobs are a different binding on the same graph.
+    auto s3 = ctx.oracleStoreFor(a, 1.0, 0.0, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_NE(s1.get(), s3.get());
+}
+
+TEST(ArchContext, RepeatSearchDerivesNoNewTables)
+{
+    arch::CgraArch accel(arch::baselineCgra(4, 4));
+    arch::ArchContext ctx(accel, std::string());
+    auto w = workloads::workloadByName("doitgen");
+    map::SearchOptions opts;
+    opts.perIiBudget = 2.0;
+    opts.totalBudget = 8.0;
+
+    map::SaMapper first;
+    auto r1 = map::searchMinIi(first, w.dfg, ctx, opts);
+    ASSERT_TRUE(r1.success);
+    EXPECT_GT(r1.stats.router.contextMisses, 0u);
+
+    // Exhaust every hop table the first search could have left unbuilt, so
+    // the assertion below is independent of wall-clock-dependent coverage.
+    const map::RouterCosts costs;
+    uint64_t builds = 0, misses = 0, hits = 0;
+    for (int ii = 1; ii <= r1.ii; ++ii) {
+        auto store =
+            ctx.oracleStoreFor(ctx.mrrgFor(ii), costs.fuCost, costs.regCost);
+        for (int pe = 0; pe < accel.numPes(); ++pe)
+            for (int layer = 0; layer < ii; ++layer)
+                (void)store->ensureHopTable(layer, pe, builds, misses, hits);
+    }
+
+    map::SaMapper second;
+    auto r2 = map::searchMinIi(second, w.dfg, ctx, opts);
+    ASSERT_TRUE(r2.success);
+    EXPECT_EQ(r2.stats.router.oracleBuilds, 0u);
+    EXPECT_GT(r2.stats.router.contextHits, 0u);
+    // The merged counters surface through the stats JSON schema.
+    const std::string json = r2.stats.toJson();
+    EXPECT_NE(json.find("\"contextHits\""), std::string::npos);
+    EXPECT_NE(json.find("\"contextMisses\""), std::string::npos);
+}
+
+/** Fresh per-test cache directory under the build tree's temp space. */
+std::string
+freshCacheDir(const std::string &name)
+{
+    const auto dir =
+        std::filesystem::temp_directory_path() / ("lisa_arch_" + name);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+TEST(ArchContext, SaveLoadRoundTripSeedsTables)
+{
+    arch::CgraArch accel(arch::baselineCgra(4, 4));
+    const std::string dir = freshCacheDir("roundtrip");
+
+    std::vector<int32_t> original;
+    std::string path;
+    {
+        arch::ArchContext ctx(accel, dir);
+        auto store = ctx.oracleStoreFor(ctx.mrrgFor(2), 1.0, 0.7);
+        uint64_t builds = 0, misses = 0, hits = 0;
+        original = store->ensureHopTable(0, 5, builds, misses, hits);
+        path = ctx.cacheFilePath();
+        ASSERT_TRUE(ctx.save(path));
+    }
+
+    arch::ArchContext warm(accel, dir); // loads at construction
+    auto store = warm.oracleStoreFor(warm.mrrgFor(2), 1.0, 0.7);
+    uint64_t builds = 0, misses = 0, hits = 0;
+    const auto &tab = store->ensureHopTable(0, 5, builds, misses, hits);
+    EXPECT_EQ(builds, 0u); // seeded from disk, not rebuilt
+    EXPECT_EQ(hits, 1u);
+    EXPECT_EQ(tab, original);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ArchContext, DestructorSavesAfterAcceleratorDied)
+{
+    // The bench harness keeps contexts in a function-local static
+    // registry, so they destruct during static teardown — after a
+    // main()-local accelerator is gone. The destructor's save() must not
+    // touch the accelerator; everything it needs is snapshotted at
+    // construction.
+    const std::string dir = freshCacheDir("teardown");
+    std::vector<int32_t> original;
+    std::string path;
+    {
+        auto accel = std::make_unique<arch::CgraArch>(
+            arch::baselineCgra(4, 4));
+        std::optional<arch::ArchContext> ctx;
+        ctx.emplace(*accel, dir);
+        auto store = ctx->oracleStoreFor(ctx->mrrgFor(2), 1.0, 0.7);
+        uint64_t builds = 0, misses = 0, hits = 0;
+        original = store->ensureHopTable(0, 3, builds, misses, hits);
+        path = ctx->cacheFilePath();
+        accel.reset(); // accelerator dies first, as in the harness
+        ctx.reset();   // destructor save must still write the file
+    }
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    arch::CgraArch same(arch::baselineCgra(4, 4));
+    arch::ArchContext warm(same, dir); // loads at construction
+    auto store = warm.oracleStoreFor(warm.mrrgFor(2), 1.0, 0.7);
+    uint64_t builds = 0, misses = 0, hits = 0;
+    const auto &tab = store->ensureHopTable(0, 3, builds, misses, hits);
+    EXPECT_EQ(builds, 0u);
+    EXPECT_EQ(tab, original);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ArchContext, LoadRejectsCorruptVersionAndForeignFiles)
+{
+    arch::CgraArch accel(arch::baselineCgra(4, 4));
+    const std::string dir = freshCacheDir("reject");
+    const std::string path = dir + "/cache.larc";
+    {
+        arch::ArchContext ctx(accel, std::string());
+        auto store = ctx.oracleStoreFor(ctx.mrrgFor(2), 1.0, 0.7);
+        uint64_t builds = 0, misses = 0, hits = 0;
+        (void)store->ensureHopTable(0, 0, builds, misses, hits);
+        ASSERT_TRUE(ctx.save(path));
+    }
+    std::string bytes;
+    {
+        std::ifstream is(path, std::ios::binary);
+        std::ostringstream raw;
+        raw << is.rdbuf();
+        bytes = raw.str();
+    }
+    ASSERT_GT(bytes.size(), 24u);
+
+    auto writeFile = [&](const std::string &p, const std::string &data) {
+        std::ofstream os(p, std::ios::binary | std::ios::trunc);
+        os.write(data.data(), static_cast<std::streamsize>(data.size()));
+    };
+    auto fnv = [](const std::string &data) {
+        uint64_t h = 1469598103934665603ull;
+        for (unsigned char c : data) {
+            h ^= c;
+            h *= 1099511628211ull;
+        }
+        return h;
+    };
+    auto withChecksum = [&](std::string body) {
+        const uint64_t h = fnv(body);
+        for (int i = 0; i < 8; ++i)
+            body.push_back(static_cast<char>((h >> (8 * i)) & 0xff));
+        return body;
+    };
+
+    arch::ArchContext ctx(accel, std::string());
+    ASSERT_TRUE(ctx.load(path)); // control: pristine file loads
+
+    // Flipped payload byte: checksum mismatch.
+    std::string flipped = bytes;
+    flipped[bytes.size() / 2] =
+        static_cast<char>(flipped[bytes.size() / 2] ^ 0x5a);
+    writeFile(path, flipped);
+    EXPECT_FALSE(ctx.load(path));
+
+    // Truncation (drops part of the payload and the checksum).
+    writeFile(path, bytes.substr(0, bytes.size() - 12));
+    EXPECT_FALSE(ctx.load(path));
+
+    // Future format version with a *valid* checksum: version gate fires.
+    std::string body = bytes.substr(0, bytes.size() - 8);
+    body[4] = static_cast<char>(body[4] + 1);
+    writeFile(path, withChecksum(body));
+    EXPECT_FALSE(ctx.load(path));
+
+    // Same file, different accelerator: fingerprint gate fires.
+    writeFile(path, bytes);
+    arch::CgraArch other(arch::baselineCgra(3, 3));
+    arch::ArchContext foreign(other, std::string());
+    EXPECT_FALSE(foreign.load(path));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ArchContext, WarmStartIsBitIdenticalToColdStart)
+{
+    arch::CgraArch accel(arch::baselineCgra(4, 4));
+    auto w = workloads::workloadByName("doitgen");
+    map::SearchOptions opts;
+    opts.perIiBudget = 3.0;
+    opts.totalBudget = 12.0;
+    opts.seed = 17;
+    opts.threads = 1;
+
+    const std::string dir = freshCacheDir("warm");
+    std::string cold_text;
+    int cold_ii = 0;
+    {
+        arch::ArchContext cold(accel, dir);
+        map::SaMapper sa;
+        auto r = map::searchMinIi(sa, w.dfg, cold, opts);
+        ASSERT_TRUE(r.success);
+        cold_ii = r.ii;
+        std::ostringstream os;
+        verify::writeMapping(*r.mapping, os);
+        cold_text = os.str();
+
+        // Make the saved payload cover every table a replay could touch,
+        // so the warm assertion below cannot depend on timing.
+        const map::RouterCosts costs;
+        uint64_t builds = 0, misses = 0, hits = 0;
+        for (int ii = 1; ii <= r.ii; ++ii) {
+            auto store = cold.oracleStoreFor(cold.mrrgFor(ii), costs.fuCost,
+                                             costs.regCost);
+            for (int pe = 0; pe < accel.numPes(); ++pe)
+                for (int layer = 0; layer < ii; ++layer)
+                    (void)store->ensureHopTable(layer, pe, builds, misses,
+                                                hits);
+        }
+        ASSERT_TRUE(cold.save(cold.cacheFilePath()));
+    }
+
+    arch::ArchContext warm(accel, dir); // deserializes the cold run's file
+    map::SaMapper sa;
+    auto r = map::searchMinIi(sa, w.dfg, warm, opts);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.ii, cold_ii);
+    // Warm start: every canonical table comes from disk, none is rebuilt.
+    EXPECT_EQ(r.stats.router.oracleBuilds, 0u);
+    std::ostringstream os;
+    verify::writeMapping(*r.mapping, os);
+    EXPECT_EQ(os.str(), cold_text); // bit-identical placement and routes
+    // And the deserialized context still produces verifier-clean answers.
+    verify::checkOrDie(*r.mapping, {}, "warm-start mapping");
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace

@@ -145,6 +145,28 @@ TEST(SearchMinIi, SpatialZeroTotalBudgetSkipsMapper)
     EXPECT_EQ(r.attempts, 0);
 }
 
+TEST(SearchMinIi, SpatialHonorsStopFlag)
+{
+    // Regression: the spatial branch used to launch its single attempt
+    // without consulting options.stop, so a cancelled portfolio still
+    // burned a full perIiBudget on spatial accelerators.
+    arch::SystolicArch s(3, 5);
+    dfg::DfgBuilder b("c2");
+    auto x = b.load("x");
+    b.op(OpCode::Add, {x});
+    dfg::Dfg g = b.build();
+    RecordingMapper probe;
+    std::atomic<bool> stop{true};
+    SearchOptions opts;
+    opts.perIiBudget = 5.0;
+    opts.totalBudget = 5.0;
+    opts.stop = &stop;
+    auto r = searchMinIi(probe, g, s, opts);
+    EXPECT_FALSE(r.success);
+    EXPECT_TRUE(probe.budgets.empty());
+    EXPECT_EQ(r.attempts, 0);
+}
+
 TEST(SearchMinIi, AttemptBudgetsClampedToRemainingTime)
 {
     // Every attempt budget must satisfy 0 < budget <= min(perIiBudget,

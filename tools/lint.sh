@@ -30,6 +30,7 @@ HOT_FILES=(
     src/mapping/router_workspace.hh
     src/mapping/distance_oracle.cc
     src/mapping/distance_oracle.hh
+    src/arch/arch_context.hh
 )
 
 ALLOC_RE='(^|[^[:alnum:]_."])new[[:space:]]|std::make_unique|std::make_shared|[^[:alnum:]_]malloc[[:space:]]*\(|[^[:alnum:]_]calloc[[:space:]]*\(|[^[:alnum:]_]realloc[[:space:]]*\('

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/arch_context.hh"
 #include "arch/cgra.hh"
 #include "mappers/sa_mapper.hh"
 #include "mapping/ii_search.hh"
@@ -40,12 +41,15 @@ writeDemo(const std::string &path)
 {
     using namespace lisa;
     arch::CgraArch accel(arch::baselineCgra(4, 4));
+    // Honors LISA_ARCH_CACHE: repeated demo runs warm-start the MRRG and
+    // oracle tables from disk.
+    arch::ArchContext context(accel);
     const auto suite = workloads::polybenchSuite();
     map::SaMapper mapper;
     map::SearchOptions options;
     options.perIiBudget = 2.0;
     options.totalBudget = 20.0;
-    auto result = map::searchMinIi(mapper, suite.front().dfg, accel,
+    auto result = map::searchMinIi(mapper, suite.front().dfg, context,
                                    options);
     if (!result.success) {
         std::cerr << "lisa-verify: demo mapping attempt failed\n";
