@@ -16,5 +16,8 @@ main(int argc, char **argv)
     auto results = compareMappers(accel, workloads::polybenchSuite(),
                                   scaled(CompareOptions{}));
     printIiTable("Fig 9a: 4x4 baseline CGRA", results);
+    if (portfolioEnabled())
+        printPortfolioTable("Fig 9a: 4x4 baseline CGRA portfolio",
+                            results);
     return 0;
 }

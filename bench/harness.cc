@@ -12,6 +12,7 @@
 #include "mappers/exact_mapper.hh"
 #include "mappers/sa_mapper.hh"
 #include "power/power_model.hh"
+#include "support/json.hh"
 #include "support/stopwatch.hh"
 #include "support/table.hh"
 #include "support/thread_pool.hh"
@@ -79,8 +80,9 @@ searchResultJson(const std::string &accel, const std::string &kernel,
                  const char *mapper, const map::SearchResult &r)
 {
     std::ostringstream os;
-    os << "{\"event\":\"kernel\",\"accel\":\"" << accel << "\",\"kernel\":\""
-       << kernel << "\",\"mapper\":\"" << mapper
+    os << "{\"event\":\"kernel\",\"accel\":\"" << jsonEscape(accel)
+       << "\",\"kernel\":\"" << jsonEscape(kernel) << "\",\"mapper\":\""
+       << jsonEscape(mapper)
        << "\",\"success\":" << (r.success ? "true" : "false")
        << ",\"ii\":" << r.ii << ",\"mii\":" << r.mii
        << ",\"seconds\":" << r.seconds
@@ -90,6 +92,43 @@ searchResultJson(const std::string &accel, const std::string &kernel,
        << ",\"stats\":" << r.stats.toJson() << "}";
     return os.str();
 }
+
+std::string
+portfolioMemberJson(const std::string &accel, const std::string &kernel,
+                    const map::MemberOutcome &m)
+{
+    const map::SearchResult &r = m.result;
+    std::ostringstream os;
+    os << "{\"event\":\"portfolio_member\",\"accel\":\""
+       << jsonEscape(accel) << "\",\"kernel\":\"" << jsonEscape(kernel)
+       << "\",\"member\":\"" << jsonEscape(m.name)
+       << "\",\"rank\":" << m.rank
+       << ",\"success\":" << (r.success ? "true" : "false")
+       << ",\"ii\":" << r.ii << ",\"mii\":" << r.mii
+       << ",\"seconds\":" << r.seconds << ",\"attempts\":" << r.attempts
+       << ",\"cancelledAtIi\":" << r.cancelledAtIi
+       << ",\"stats\":" << r.stats.toJson() << "}";
+    return os.str();
+}
+
+std::string
+portfolioJson(const std::string &accel, const std::string &kernel,
+              const map::PortfolioResult &p)
+{
+    std::ostringstream os;
+    os << "{\"event\":\"portfolio\",\"accel\":\"" << jsonEscape(accel)
+       << "\",\"kernel\":\"" << jsonEscape(kernel)
+       << "\",\"success\":" << (p.success ? "true" : "false")
+       << ",\"ii\":" << p.ii << ",\"mii\":" << p.mii
+       << ",\"seconds\":" << p.seconds << ",\"winner\":\""
+       << jsonEscape(p.winner) << "\",\"winnerRank\":" << p.winnerRank
+       << ",\"members\":" << p.members.size()
+       << ",\"attempts\":" << p.attempts
+       << ",\"stats\":" << p.stats.toJson() << "}";
+    return os.str();
+}
+
+bool g_portfolio = false;
 
 } // namespace
 
@@ -103,19 +142,28 @@ initBench(int argc, char **argv)
             threads = std::max(1, std::atoi(argv[++i]));
         } else if (arg.rfind("--threads=", 0) == 0) {
             threads = std::max(1, std::atoi(arg.c_str() + 10));
+        } else if (arg == "--portfolio") {
+            g_portfolio = true;
         } else {
             std::cerr << "[bench] ignoring unknown argument '" << arg
-                      << "' (supported: --threads N)\n";
+                      << "' (supported: --threads N, --portfolio)\n";
         }
     }
     ThreadPool::setGlobalThreads(threads);
-    std::cerr << "[bench] threads=" << threads << "\n";
+    std::cerr << "[bench] threads=" << threads
+              << (g_portfolio ? " portfolio=on" : "") << "\n";
 }
 
 int
 benchThreads()
 {
     return ThreadPool::globalThreads();
+}
+
+bool
+portfolioEnabled()
+{
+    return g_portfolio;
 }
 
 CompareOptions
@@ -221,13 +269,19 @@ compareMappers(const arch::Accelerator &accel,
                 total_attempts += a.attempts;
                 suite_stats.merge(a.stats);
             }
-            std::sort(attempts.begin(), attempts.end(),
-                      [](const map::SearchResult &a,
-                         const map::SearchResult &b) {
-                          int ia = a.success ? a.ii : 1000;
-                          int ib = b.success ? b.ii : 1000;
-                          return ia < ib;
-                      });
+            // The median pick must not depend on how the sort happens to
+            // permute equal-II runs: tie-break on compile seconds and
+            // keep the sort stable so runs that are equal on both keys
+            // stay in run order.
+            std::stable_sort(attempts.begin(), attempts.end(),
+                             [](const map::SearchResult &a,
+                                const map::SearchResult &b) {
+                                 int ia = a.success ? a.ii : 1000;
+                                 int ib = b.success ? b.ii : 1000;
+                                 if (ia != ib)
+                                     return ia < ib;
+                                 return a.seconds < b.seconds;
+                             });
             row.sa = std::move(attempts[attempts.size() / 2]);
         }
 
@@ -242,9 +296,46 @@ compareMappers(const arch::Accelerator &accel,
             suite_stats.merge(row.lisa.stats);
         }
 
+        if (g_portfolio) {
+            // Race the full member set (EVO rides on the SA budgets).
+            // Members run with inner threads = 1 for reproducibility
+            // while the standalone runs above use `threads` seed
+            // streams, so scale the wall budgets by `threads` to give
+            // each member the same CPU-seconds per II attempt as its
+            // standalone counterpart — dominated members are cancelled
+            // by the incumbent, so the inflation rarely materializes.
+            const double cpu = static_cast<double>(threads);
+            core::PortfolioConfig pc;
+            pc.lisa.perIiBudget = options.lisaPerIi * cpu;
+            pc.lisa.totalBudget = options.lisaTotal * cpu;
+            pc.sa.perIiBudget = options.saPerIi * cpu;
+            pc.sa.totalBudget = options.saTotal * cpu;
+            pc.ilp.perIiBudget = options.ilpPerIi * cpu;
+            pc.ilp.totalBudget = options.ilpTotal * cpu;
+            pc.evo.perIiBudget = options.saPerIi * cpu;
+            pc.evo.totalBudget = options.saTotal * cpu;
+            pc.lisa.seed = pc.sa.seed = pc.ilp.seed = pc.evo.seed =
+                options.seed;
+            pc.runSa = options.runSa;
+            pc.runIlp = options.runIlp;
+            row.portfolio = fw.compilePortfolio(w.dfg, pc);
+            total_attempts += row.portfolio.attempts;
+            suite_stats.merge(row.portfolio.stats);
+        }
+
         std::cerr << "[bench] " << accel.name() << " " << w.name
                   << ": ILP*=" << iiCell(row.ilp) << " SA=" << iiCell(row.sa)
-                  << " LISA=" << iiCell(row.lisa) << "\n";
+                  << " LISA=" << iiCell(row.lisa);
+        if (g_portfolio) {
+            std::cerr << " PORT=" << (row.portfolio.success
+                                          ? std::to_string(row.portfolio.ii)
+                                          : std::string("0"))
+                      << " (winner="
+                      << (row.portfolio.success ? row.portfolio.winner
+                                                : std::string("-"))
+                      << ")";
+        }
+        std::cerr << "\n";
         if (metricsEnabled()) {
             if (options.runIlp)
                 emitMetricsLine(searchResultJson(accel.name(), w.name,
@@ -254,6 +345,13 @@ compareMappers(const arch::Accelerator &accel,
                                                  row.sa));
             emitMetricsLine(searchResultJson(accel.name(), w.name, "LISA",
                                              row.lisa));
+            if (g_portfolio) {
+                for (const auto &m : row.portfolio.members)
+                    emitMetricsLine(
+                        portfolioMemberJson(accel.name(), w.name, m));
+                emitMetricsLine(
+                    portfolioJson(accel.name(), w.name, row.portfolio));
+            }
         }
         out.push_back(std::move(row));
     }
@@ -353,6 +451,28 @@ printPowerTable(const std::string &title,
         };
         t.addRow({r.kernel, norm(mops(r.ilp)), norm(mops(r.sa)),
                   lisa > 0 ? "1.00" : "0.00"});
+    }
+    t.print(std::cout);
+}
+
+void
+printPortfolioTable(const std::string &title,
+                    const std::vector<CompareResult> &results)
+{
+    std::cout << "\n== " << title
+              << " (racing portfolio; best-single = min standalone II) "
+                 "==\n";
+    Table t({"kernel", "portfolio", "best-single", "winner", "seconds"});
+    for (const auto &r : results) {
+        int best_single = 1000;
+        for (const map::SearchResult *s : {&r.ilp, &r.sa, &r.lisa})
+            if (s->success)
+                best_single = std::min(best_single, s->ii);
+        t.addRow({r.kernel,
+                  std::to_string(r.portfolio.success ? r.portfolio.ii : 0),
+                  std::to_string(best_single == 1000 ? 0 : best_single),
+                  r.portfolio.success ? r.portfolio.winner : "-",
+                  fmtDouble(r.portfolio.seconds)});
     }
     t.print(std::cout);
 }

@@ -21,6 +21,10 @@
  *                  the process-wide worker pool used by training-data
  *                  generation. Seed-splitting keeps a given
  *                  (seed, threads) pair reproducible.
+ *  - --portfolio : additionally race LISA / SA / ILP* / EVO per kernel
+ *                  with a shared best-II incumbent (PortfolioSearch) and
+ *                  report the portfolio row; per-member attribution goes
+ *                  to the metrics sinks as "portfolio_member" events.
  */
 
 #ifndef LISA_BENCH_HARNESS_HH
@@ -66,6 +70,9 @@ void initBench(int argc, char **argv);
 /** Parallelism configured by initBench (or LISA_THREADS; default 1). */
 int benchThreads();
 
+/** True when --portfolio was passed to initBench. */
+bool portfolioEnabled();
+
 /** One kernel's outcome across the mappers. */
 struct CompareResult
 {
@@ -73,6 +80,8 @@ struct CompareResult
     map::SearchResult ilp;
     map::SearchResult sa;
     map::SearchResult lisa;
+    /** Racing-portfolio outcome (populated only under --portfolio). */
+    map::PortfolioResult portfolio;
 };
 
 /**
@@ -111,6 +120,10 @@ void printSuccessTable(const std::string &title,
 /** Paper Fig 10 style: MOPS/W normalized to LISA. */
 void printPowerTable(const std::string &title,
                      const std::vector<CompareResult> &results);
+
+/** Fig 9a style portfolio row: winner, II, race seconds per kernel. */
+void printPortfolioTable(const std::string &title,
+                         const std::vector<CompareResult> &results);
 
 } // namespace lisabench
 

@@ -5,6 +5,9 @@
 #include <fstream>
 
 #include "arch/arch_context.hh"
+#include "mappers/evo_mapper.hh"
+#include "mappers/exact_mapper.hh"
+#include "mappers/sa_mapper.hh"
 #include "nn/serialize.hh"
 #include "support/logging.hh"
 
@@ -53,6 +56,20 @@ LisaFramework::loadFromCache()
     std::ifstream meta(cachePath("meta"));
     if (!meta)
         return false;
+    // The cache file name keys on the accelerator's *name* only; two
+    // fabrics can share a name (e.g. the same grid at a different config
+    // depth). The content fingerprint recorded at save time catches that:
+    // a mismatch means the models were trained for a different fabric, so
+    // the cache is stale and the caller retrains.
+    uint64_t fp = 0;
+    if (!(meta >> fp))
+        return false;
+    if (fp != ctx->fingerprint()) {
+        inform("model cache for ", arch->name(),
+               " was trained for a different fabric "
+               "(fingerprint mismatch); retraining");
+        return false;
+    }
     accuracies.assign(4, 0.0);
     for (double &a : accuracies)
         if (!(meta >> a))
@@ -77,6 +94,7 @@ LisaFramework::saveToCache() const
     nn::saveModuleFile(nets->spatialDist, "label3", cachePath("label3"));
     nn::saveModuleFile(nets->temporalDist, "label4", cachePath("label4"));
     std::ofstream meta(cachePath("meta"));
+    meta << ctx->fingerprint() << '\n';
     for (double a : accuracies)
         meta << a << '\n';
 }
@@ -157,6 +175,32 @@ LisaFramework::compile(const dfg::Dfg &dfg,
     dfg::Analysis analysis(dfg);
     LisaMapper mapper(predictLabels(dfg, analysis), cfg.mapper);
     return map::searchMinIi(mapper, dfg, *ctx, options);
+}
+
+map::PortfolioResult
+LisaFramework::compilePortfolio(const dfg::Dfg &dfg,
+                                const PortfolioConfig &config) const
+{
+    if (!ready)
+        panic("compilePortfolio: call prepare() first");
+    dfg::Analysis analysis(dfg);
+    map::PortfolioSearch race(*ctx);
+    // Registration order is the II tie-break: LISA first, so the
+    // guided mapper's success cancels same-II baseline attempts.
+    race.addMember("LISA",
+                   std::make_unique<LisaMapper>(
+                       predictLabels(dfg, analysis), cfg.mapper),
+                   config.lisa);
+    if (config.runSa)
+        race.addMember("SA", std::make_unique<map::SaMapper>(),
+                       config.sa);
+    if (config.runIlp)
+        race.addMember("ILP*", std::make_unique<map::ExactMapper>(),
+                       config.ilp);
+    if (config.runEvo)
+        race.addMember("EVO", std::make_unique<map::EvoMapper>(),
+                       config.evo);
+    return race.run(dfg);
 }
 
 } // namespace lisa::core

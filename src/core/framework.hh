@@ -20,6 +20,7 @@
 #include "core/training_data.hh"
 #include "gnn/accuracy.hh"
 #include "mapping/ii_search.hh"
+#include "mapping/portfolio.hh"
 
 namespace lisa::arch {
 class ArchContext;
@@ -44,6 +45,24 @@ struct FrameworkConfig
      *  other consumers of the same accelerator. Must outlive the
      *  framework. */
     arch::ArchContext *archContext = nullptr;
+};
+
+/**
+ * Member set and budgets for compilePortfolio. LISA always races at rank
+ * 0 (its successes break II ties); the classic baselines and the
+ * evolutionary explorer are individually optional. Each member's
+ * SearchOptions carries its own budgets and base seed; threads and
+ * incumbent wiring are managed by the race itself.
+ */
+struct PortfolioConfig
+{
+    map::SearchOptions lisa;
+    map::SearchOptions sa;
+    map::SearchOptions ilp;
+    map::SearchOptions evo;
+    bool runSa = true;
+    bool runIlp = true;
+    bool runEvo = true;
 };
 
 /** Portable compiler instance for one accelerator. */
@@ -73,6 +92,17 @@ class LisaFramework
     /** Map a DFG: GNN label prediction + label-aware SA + II sweep. */
     map::SearchResult compile(const dfg::Dfg &dfg,
                               const map::SearchOptions &options) const;
+
+    /**
+     * Map a DFG by racing LISA against the configured baseline mappers
+     * (SA, ILP*, EVO) over the process thread pool, all sharing this
+     * framework's ArchContext and one best-II incumbent. Deterministic
+     * for a fixed (config seeds, member set, threads): the winner is the
+     * lex-min (ii, rank) achiever, not the first finisher.
+     */
+    map::PortfolioResult
+    compilePortfolio(const dfg::Dfg &dfg,
+                     const PortfolioConfig &config) const;
 
     /** Held-out accuracy per label (1..4), available after prepare(). */
     const std::vector<double> &labelAccuracy() const { return accuracies; }

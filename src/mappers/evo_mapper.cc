@@ -1,0 +1,220 @@
+#include "mappers/evo_mapper.hh"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "mappers/placement_util.hh"
+#include "support/stopwatch.hh"
+#include "verify/verify.hh"
+
+namespace lisa::map {
+
+EvoMapper::EvoMapper(EvoConfig config) : cfg(config) {}
+
+EvoMapper::Genome
+EvoMapper::randomGenome(const MapContext &ctx, const Mapping &scratch)
+{
+    // Build the genome through a throwaway placement pass so each node's
+    // schedule time is drawn from its feasible window given the genes
+    // already chosen — the same seeding the annealers use.
+    const auto &accel = scratch.mrrg().accel();
+    const int ii = scratch.mrrg().ii();
+    Genome genome(ctx.dfg.numNodes());
+    Mapping probe(ctx.dfg, scratch.mrrgPtr());
+    for (dfg::NodeId v : ctx.analysis.topoOrder()) {
+        const auto &capable = accel.opCapablePes(ctx.dfg.node(v).op);
+        if (capable.empty())
+            return {}; // unmappable op: no genome exists
+        Gene g;
+        g.pe = ctx.rng.pick(capable);
+        if (accel.temporalMapping()) {
+            TimeWindow w = feasibleWindow(probe, ctx.analysis, v);
+            if (w.valid()) {
+                int hi = std::min(w.hi, w.lo + ii + 2);
+                g.time = ctx.rng.uniformInt(w.lo, hi);
+            } else {
+                g.time =
+                    std::min(ctx.analysis.asap(v), probe.horizon() - 1);
+            }
+        }
+        probe.placeNode(v, PeId{g.pe}, AbsTime{g.time});
+        genome[v] = g;
+    }
+    return genome;
+}
+
+double
+EvoMapper::evaluate(const Genome &genome, Mapping &scratch,
+                    RouterWorkspace &ws)
+{
+    scratch.clear();
+    for (size_t v = 0; v < genome.size(); ++v) {
+        scratch.placeNode(static_cast<dfg::NodeId>(v), PeId{genome[v].pe},
+                          AbsTime{genome[v].time});
+    }
+    routeAll(scratch, cfg.routerCosts, ws);
+    return mappingCost(scratch, cfg.costParams);
+}
+
+std::optional<Mapping>
+EvoMapper::attemptStream(const MapContext &ctx)
+{
+    Stopwatch total;
+    RouterWorkspace ws;
+    ws.archContext = ctx.archCtx;
+    MapperStats stats;
+    Mapping scratch(ctx.dfg, ctx.mrrg);
+    const auto &accel = scratch.mrrg().accel();
+    const size_t num_nodes = ctx.dfg.numNodes();
+    const int pop = std::max(2, cfg.population);
+    const int elite = std::clamp(cfg.elite, 0, pop - 1);
+    std::optional<Mapping> out;
+
+    auto finish = [&](std::optional<Mapping> m) {
+        stats.router = ws.counters;
+        stats.mapSeconds = total.seconds();
+        if (ctx.stats)
+            ctx.stats->merge(stats);
+        return m;
+    };
+
+    auto exhausted = [&]() {
+        return total.seconds() >= ctx.timeBudget || ctx.cancelled();
+    };
+
+    /** Decode a genome into a fresh result mapping (routes replayed in
+     *  the same deterministic order evaluate used). */
+    auto materialize = [&](const Genome &genome) {
+        Mapping m(ctx.dfg, ctx.mrrg);
+        for (size_t v = 0; v < genome.size(); ++v) {
+            m.placeNode(static_cast<dfg::NodeId>(v), PeId{genome[v].pe},
+                        AbsTime{genome[v].time});
+        }
+        routeAll(m, cfg.routerCosts, ws);
+        return m;
+    };
+
+    std::vector<Genome> population;
+    std::vector<double> fitness;
+    std::vector<size_t> rank(static_cast<size_t>(pop));
+
+    while (!exhausted()) {
+        ctx.countAttempt();
+        ++stats.restarts;
+
+        // Fresh random population.
+        Stopwatch init_timer;
+        population.clear();
+        fitness.clear();
+        const Genome *valid_genome = nullptr;
+        for (int i = 0; i < pop && !valid_genome && !exhausted(); ++i) {
+            Genome g = randomGenome(ctx, scratch);
+            if (g.empty())
+                return finish(std::nullopt); // unmappable op
+            fitness.push_back(evaluate(g, scratch, ws));
+            population.push_back(std::move(g));
+            if (scratch.valid())
+                valid_genome = &population.back();
+        }
+        stats.initSeconds += init_timer.seconds();
+        if (valid_genome) {
+            out = materialize(*valid_genome);
+            break;
+        }
+        if (population.size() < 2)
+            continue; // budget/cancel hit mid-init: retry or bail above
+
+        Stopwatch move_timer;
+        double best = *std::min_element(fitness.begin(), fitness.end());
+        int stagnation = 0;
+        std::vector<Genome> next;
+        while (!exhausted() && stagnation < cfg.stagnationLimit &&
+               !valid_genome) {
+            const size_t n = population.size();
+            // Fitness ranking; index tie-break keeps generations
+            // deterministic when costs collide.
+            rank.resize(n);
+            std::iota(rank.begin(), rank.end(), size_t{0});
+            std::sort(rank.begin(), rank.end(), [&](size_t a, size_t b) {
+                if (fitness[a] != fitness[b])
+                    return fitness[a] < fitness[b];
+                return a < b;
+            });
+
+            auto tournament = [&]() -> const Genome & {
+                size_t a = ctx.rng.index(n);
+                size_t b = ctx.rng.index(n);
+                return population[fitness[a] <= fitness[b] ? a : b];
+            };
+
+            next.clear();
+            for (int e = 0; e < elite; ++e)
+                next.push_back(population[rank[static_cast<size_t>(e)]]);
+            while (next.size() < static_cast<size_t>(pop)) {
+                const Genome &pa = tournament();
+                const Genome &pb = tournament();
+                Genome child(num_nodes);
+                // Uniform crossover, then per-node relocate mutation.
+                for (size_t v = 0; v < num_nodes; ++v)
+                    child[v] = ctx.rng.chance(0.5) ? pa[v] : pb[v];
+                for (size_t v = 0; v < num_nodes; ++v) {
+                    if (!ctx.rng.chance(cfg.mutationRate))
+                        continue;
+                    const auto &capable = accel.opCapablePes(
+                        ctx.dfg.node(static_cast<dfg::NodeId>(v)).op);
+                    child[v].pe = ctx.rng.pick(capable);
+                    if (accel.temporalMapping()) {
+                        child[v].time = std::clamp(
+                            child[v].time + ctx.rng.uniformInt(-2, 2), 0,
+                            scratch.horizon() - 1);
+                    }
+                }
+                next.push_back(std::move(child));
+            }
+
+            population.swap(next);
+            fitness.clear();
+            for (size_t i = 0;
+                 i < population.size() && !valid_genome && !exhausted();
+                 ++i) {
+                fitness.push_back(evaluate(population[i], scratch, ws));
+                if (scratch.valid())
+                    valid_genome = &population[i];
+            }
+            if (fitness.size() < population.size()) {
+                population.resize(fitness.size()); // eval cut short
+                break;
+            }
+            const double gen_best =
+                *std::min_element(fitness.begin(), fitness.end());
+            if (gen_best < best) {
+                best = gen_best;
+                stagnation = 0;
+            } else {
+                ++stagnation;
+            }
+        }
+        stats.moveSeconds += move_timer.seconds();
+        if (valid_genome) {
+            out = materialize(*valid_genome);
+            break;
+        }
+    }
+
+    if (out) {
+        if (verify::validationEnabled())
+            verify::checkOrDie(*out, {}, "EvoMapper acceptance");
+    }
+    return finish(std::move(out));
+}
+
+std::optional<Mapping>
+EvoMapper::tryMap(const MapContext &ctx)
+{
+    return runAttemptPortfolio(ctx, [this](const MapContext &sub) {
+        return attemptStream(sub);
+    });
+}
+
+} // namespace lisa::map

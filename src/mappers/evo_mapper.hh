@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Lightweight evolutionary mapper, the portfolio's fourth member.
+ *
+ * In the spirit of evolutionary mapping of neural networks to spatial
+ * accelerators (see PAPERS.md), a small population of placement genomes
+ * (one (PE, time) gene per DFG node) evolves under tournament selection,
+ * uniform crossover, and relocate-one-node mutation. Fitness is the
+ * standard mapping cost after routing every edge of the decoded genome,
+ * so overuse, unrouted edges, and route length are penalized exactly as
+ * the annealers see them. A genome decoding to a valid mapping ends the
+ * run immediately; stagnation triggers a full restart with a fresh random
+ * population while the time budget lasts.
+ *
+ * The mapper is deliberately cheap — population ~10, no adaptive
+ * schedules — because its portfolio role is diversity, not dominance: it
+ * explores placements by recombination, which neither SA's single-point
+ * walk nor LISA's label ranking does. Like every Mapper it is
+ * deterministic for a fixed (seed, threads) pair and honors
+ * MapContext::cancelled() between generations, so a portfolio incumbent
+ * can cut a dominated run short.
+ */
+
+#ifndef LISA_MAPPERS_EVO_MAPPER_HH
+#define LISA_MAPPERS_EVO_MAPPER_HH
+
+#include "mapping/cost.hh"
+#include "mapping/router.hh"
+#include "mapping/router_workspace.hh"
+#include "mappers/mapper.hh"
+
+namespace lisa::map {
+
+/** Tunables of the evolutionary search. */
+struct EvoConfig
+{
+    /** Individuals per generation. */
+    int population = 10;
+    /** Fittest individuals copied unchanged into the next generation. */
+    int elite = 2;
+    /** Per-node probability of a relocate mutation in each child. */
+    double mutationRate = 0.15;
+    /** Generations without a best-fitness improvement before restarting. */
+    int stagnationLimit = 10;
+    RouterCosts routerCosts;
+    CostParams costParams;
+};
+
+/** Population-based placement search with routing-aware fitness. */
+class EvoMapper : public Mapper
+{
+  public:
+    explicit EvoMapper(EvoConfig config = {});
+
+    std::string name() const override { return "EVO"; }
+    std::optional<Mapping> tryMap(const MapContext &ctx) override;
+
+  private:
+    /** One gene: where a node sits. */
+    struct Gene
+    {
+        int pe = 0;
+        int time = 0;
+    };
+    using Genome = std::vector<Gene>;
+
+    /** One attempt stream: evolve restarts until budget/cancel. */
+    std::optional<Mapping> attemptStream(const MapContext &ctx);
+
+    /** Random genome in topological order (SA-init-style placement). */
+    Genome randomGenome(const MapContext &ctx, const Mapping &scratch);
+
+    /** Decode @p genome into @p scratch, route, and return its cost. */
+    double evaluate(const Genome &genome, Mapping &scratch,
+                    RouterWorkspace &ws);
+
+    EvoConfig cfg;
+};
+
+} // namespace lisa::map
+
+#endif // LISA_MAPPERS_EVO_MAPPER_HH

@@ -90,7 +90,8 @@ runAttemptPortfolio(
                            ctx.rng.split(k), 1,
                            ctx.stop,         &firstSuccess,
                            ctx.attempts,     &streamStats[k],
-                           ctx.archCtx};
+                           ctx.archCtx,      ctx.incumbent,
+                           ctx.attemptIi,    ctx.memberRank};
             auto m = attempt(sub);
             if (m) {
                 results[k] = std::move(m);

@@ -27,6 +27,71 @@ class ArchContext;
 namespace lisa::map {
 
 /**
+ * Shared best-II incumbent of a cross-mapper racing portfolio.
+ *
+ * Members are ranked by a fixed priority (their index in the member set);
+ * the incumbent stores the lexicographically smallest (ii, rank) pair any
+ * member has achieved so far, packed into one atomic word. A pair
+ * dominates an attempt at (ii', rank') when it is strictly smaller:
+ * either a lower II was achieved, or the same II was achieved by a
+ * higher-priority member. Dominated attempts can never become the
+ * portfolio's final answer (the winner is the lex-min achieved pair), so
+ * cancelling them is free of nondeterminism: a member racing at the same
+ * II with a *better* rank than the incumbent holder keeps running, which
+ * is what makes the final winner timing-independent given sufficient
+ * budgets. See mapping/portfolio.hh for the enclosing race driver.
+ */
+class IiIncumbent
+{
+  public:
+    /** Report a success at @p ii by member @p rank (monotonic CAS-min). */
+    void
+    offer(int ii, int rank)
+    {
+        uint64_t candidate = pack(ii, rank);
+        uint64_t cur = best.load(std::memory_order_relaxed);
+        while (candidate < cur &&
+               !best.compare_exchange_weak(cur, candidate,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    /** True when an attempt at (@p ii, @p rank) can no longer win. */
+    bool
+    dominates(int ii, int rank) const
+    {
+        return best.load(std::memory_order_acquire) < pack(ii, rank);
+    }
+
+    /** Best II achieved so far; INT_MAX while no member has succeeded. */
+    int
+    bound() const
+    {
+        return static_cast<int>(best.load(std::memory_order_acquire) >> 32);
+    }
+
+    /** Rank of the member holding the incumbent (INT_MAX when none). */
+    int
+    holderRank() const
+    {
+        return static_cast<int>(best.load(std::memory_order_acquire) &
+                                0xffffffffull);
+    }
+
+  private:
+    static uint64_t
+    pack(int ii, int rank)
+    {
+        return (static_cast<uint64_t>(static_cast<uint32_t>(ii)) << 32) |
+               static_cast<uint32_t>(rank);
+    }
+
+    /** Packed (ii << 32 | rank); all-ones = no success yet. */
+    std::atomic<uint64_t> best{~0ull};
+};
+
+/**
  * Everything one fixed-II mapping attempt needs.
  *
  * The context *owns* its Rng by value: concurrent attempt streams each
@@ -61,13 +126,22 @@ struct MapContext
      *  to their RouterWorkspace so concurrent attempt streams at the same
      *  II share one immutable oracle set; null = per-workspace tables. */
     arch::ArchContext *archCtx = nullptr;
+    /** Cross-mapper racing portfolio incumbent (null outside a race).
+     *  When another member achieves a pair dominating (attemptIi,
+     *  memberRank), this attempt reads as cancelled at its next check. */
+    const IiIncumbent *incumbent = nullptr;
+    /** II this attempt is running at (domination check input). */
+    int attemptIi = 0;
+    /** Deterministic tie-break rank of the enclosing portfolio member. */
+    int memberRank = 0;
 
     bool
     cancelled() const
     {
         return (stop && stop->load(std::memory_order_relaxed)) ||
                (portfolioStop &&
-                portfolioStop->load(std::memory_order_relaxed));
+                portfolioStop->load(std::memory_order_relaxed)) ||
+               (incumbent && incumbent->dominates(attemptIi, memberRank));
     }
 
     void

@@ -11,6 +11,7 @@ MapperStats::merge(const MapperStats &o)
     movesCommitted += o.movesCommitted;
     movesRolledBack += o.movesRolledBack;
     restarts += o.restarts;
+    incumbentCancels += o.incumbentCancels;
     initSeconds += o.initSeconds;
     moveSeconds += o.moveSeconds;
     mapSeconds += o.mapSeconds;
@@ -35,6 +36,7 @@ MapperStats::toJson() const
        << "\"movesCommitted\":" << movesCommitted << ","
        << "\"movesRolledBack\":" << movesRolledBack << ","
        << "\"restarts\":" << restarts << ","
+       << "\"incumbentCancels\":" << incumbentCancels << ","
        << "\"initSeconds\":" << initSeconds << ","
        << "\"moveSeconds\":" << moveSeconds << ","
        << "\"mapSeconds\":" << mapSeconds << "}";

@@ -37,6 +37,9 @@ struct MapperStats
     uint64_t movesRolledBack = 0;
     /** Annealing restarts (fresh initial mappings), incl. the first. */
     uint64_t restarts = 0;
+    /** II attempts abandoned because another portfolio member's success
+     *  dominated them (cross-mapper incumbent cancellation). */
+    uint64_t incumbentCancels = 0;
 
     /** @{ Per-phase wall-clock, seconds. initSeconds covers initial
      *  placement + first routing pass of each restart; moveSeconds covers

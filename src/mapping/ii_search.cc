@@ -87,17 +87,25 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg, arch::ArchContext &context,
     };
 
     if (!accel.temporalMapping()) {
-        // Spatial mapping: single configuration, one attempt.
-        result.mii = 1;
+        // Spatial mapping: single configuration, one attempt. An
+        // unmappable op leaves mii at 0, exactly like the temporal branch.
         if (res_mii < 0 ||
             dfg.numNodes() > static_cast<size_t>(accel.numPes())) {
             result.seconds = total.seconds();
             return result;
         }
+        result.mii = 1;
         // Honor external cancellation before launching the one attempt,
         // exactly like the temporal loop does at the top of each II.
         if (options.stop &&
             options.stop->load(std::memory_order_relaxed)) {
+            result.seconds = total.seconds();
+            return result;
+        }
+        if (options.incumbent &&
+            options.incumbent->dominates(1, options.memberRank)) {
+            result.cancelledAtIi = 1;
+            ++result.stats.incumbentCancels;
             result.seconds = total.seconds();
             return result;
         }
@@ -112,13 +120,21 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg, arch::ArchContext &context,
             return result;
         }
         auto mrrg = acquire_mrrg(1);
-        MapContext ctx{dfg,           analysis,     mrrg,
-                       budget,                      base.split(1),
-                       threads,       options.stop, nullptr,
-                       &attempts,     &result.stats,
-                       &context};
+        MapContext ctx{dfg,
+                       analysis,
+                       mrrg,
+                       budget,
+                       base.split(1),
+                       threads,
+                       options.stop,
+                       nullptr,
+                       &attempts,
+                       &result.stats,
+                       &context,
+                       options.incumbent,
+                       1,
+                       options.memberRank};
         auto mapping = mapper.tryMap(ctx);
-        result.seconds = total.seconds();
         result.attempts = attempts.load();
         if (mapping) {
             // Final-answer check: every mapping searchMinIi hands out has
@@ -130,7 +146,12 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg, arch::ArchContext &context,
             result.success = true;
             result.ii = 1;
             result.mapping = std::move(mapping);
+            if (options.incumbent)
+                options.incumbent->offer(1, options.memberRank);
         }
+        // Total compilation time includes the final verification, exactly
+        // like the temporal branch (which stamps after its sweep loop).
+        result.seconds = total.seconds();
         return result;
     }
 
@@ -144,6 +165,15 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg, arch::ArchContext &context,
     for (int ii = mii; ii <= accel.maxIi(); ++ii) {
         if (options.stop &&
             options.stop->load(std::memory_order_relaxed)) {
+            break;
+        }
+        // An enclosing portfolio race tightens the sweep's upper bound:
+        // once the incumbent dominates (ii, rank) it dominates every
+        // higher II too, so the rest of the sweep is abandoned.
+        if (options.incumbent &&
+            options.incumbent->dominates(ii, options.memberRank)) {
+            result.cancelledAtIi = ii;
+            ++result.stats.incumbentCancels;
             break;
         }
         // One wall-clock read decides both the cadence check and the
@@ -167,7 +197,10 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg, arch::ArchContext &context,
                        nullptr,
                        &attempts,
                        &result.stats,
-                       &context};
+                       &context,
+                       options.incumbent,
+                       ii,
+                       options.memberRank};
         auto mapping = mapper.tryMap(ctx);
         if (mapping) {
             // Final-answer check, unconditional in every build type.
@@ -178,6 +211,16 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg, arch::ArchContext &context,
             result.success = true;
             result.ii = ii;
             result.mapping = std::move(mapping);
+            if (options.incumbent)
+                options.incumbent->offer(ii, options.memberRank);
+            break;
+        }
+        // A failed attempt that the incumbent dominated mid-run was cut
+        // short, not exhausted: attribute it and abandon the sweep.
+        if (options.incumbent &&
+            options.incumbent->dominates(ii, options.memberRank)) {
+            result.cancelledAtIi = ii;
+            ++result.stats.incumbentCancels;
             break;
         }
     }

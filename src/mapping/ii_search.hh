@@ -35,6 +35,15 @@ struct SearchOptions
     int threads = 1;
     /** Optional external cancellation flag. */
     std::atomic<bool> *stop = nullptr;
+    /** Shared best-II incumbent of an enclosing cross-mapper portfolio
+     *  (null outside a race). The sweep offers every success to it and
+     *  abandons any II attempt the incumbent dominates — another member
+     *  achieved a lower II, or the same II with a better (lower)
+     *  memberRank. Dominated attempts can never be the portfolio winner,
+     *  so cancelling them keeps the race deterministic. */
+    IiIncumbent *incumbent = nullptr;
+    /** This sweep's tie-break rank within the portfolio member set. */
+    int memberRank = 0;
 };
 
 /** Outcome of one full compilation. */
@@ -53,6 +62,9 @@ struct SearchResult
     bool verified = false;
     /** Annealing attempts (restart count) summed over all streams. */
     long attempts = 0;
+    /** II at which an enclosing portfolio incumbent cancelled this sweep
+     *  (0 = the sweep ran to its own completion). */
+    int cancelledAtIi = 0;
     /** Observability counters merged over all streams and II attempts. */
     MapperStats stats;
     /** The valid mapping (present iff success). */

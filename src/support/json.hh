@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Minimal JSON string escaping for the hand-rolled emitters.
+ *
+ * The bench harness and the stats sinks build their JSON lines with
+ * ostringstream; any string that reaches those lines (accelerator names,
+ * kernel names, mapper names) must be escaped or a single quote or
+ * backslash breaks every downstream consumer of the JSONL file. One
+ * shared helper keeps the escaping rules in one place.
+ */
+
+#ifndef LISA_SUPPORT_JSON_HH
+#define LISA_SUPPORT_JSON_HH
+
+#include <string>
+
+namespace lisa {
+
+/**
+ * Escape @p s for embedding inside a double-quoted JSON string literal:
+ * backslash, double quote, and every control character below 0x20 (the
+ * common ones as the two-character forms, the rest as \u00XX). Does not
+ * add the surrounding quotes.
+ */
+std::string jsonEscape(const std::string &s);
+
+} // namespace lisa
+
+#endif // LISA_SUPPORT_JSON_HH

@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
+#include "arch/arch_context.hh"
 #include "arch/cgra.hh"
 #include "core/framework.hh"
 #include "support/stopwatch.hh"
+#include "verify/mapping_io.hh"
 #include "workloads/registry.hh"
 
 namespace {
@@ -91,6 +95,124 @@ TEST_F(FrameworkTest, CompileMapsKernels)
     ASSERT_TRUE(r.success);
     EXPECT_TRUE(r.mapping->valid());
     EXPECT_LE(r.ii, 3);
+}
+
+TEST_F(FrameworkTest, ModelCacheRejectsDifferentFabricSameName)
+{
+    // The cache file name keys on the accelerator *name*, which does not
+    // encode every fabric parameter (configDepth, for one). Regression:
+    // a framework for a same-named but different fabric used to load the
+    // stale models silently. The fingerprint line in the .meta file must
+    // reject them and force a retrain.
+    arch::CgraConfig cfg_a = arch::baselineCgra(4, 4);
+    arch::CgraArch a(cfg_a);
+    LisaFramework fw(a, tinyConfig(cache));
+    fw.prepare();
+
+    // Overwrite the cached accuracies with sentinels, keeping the
+    // fingerprint line intact, to observe which path prepare() takes:
+    // loading yields the sentinels, retraining yields anything else.
+    const std::vector<double> sentinels{0.111, 0.222, 0.333, 0.444};
+    const std::string meta_path = cache + "/" + a.name() + ".meta";
+    {
+        std::ifstream in(meta_path);
+        uint64_t fp = 0;
+        ASSERT_TRUE(static_cast<bool>(in >> fp));
+        arch::ArchContext ctx_a(a, std::string());
+        EXPECT_EQ(fp, ctx_a.fingerprint());
+        std::ofstream out(meta_path);
+        out << fp << '\n';
+        for (double s : sentinels)
+            out << s << '\n';
+    }
+
+    // Same fabric: the cache loads, so the sentinels surface.
+    LisaFramework fw_same(a, tinyConfig(cache));
+    fw_same.prepare();
+    ASSERT_EQ(fw_same.labelAccuracy().size(), 4u);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(fw_same.labelAccuracy()[i], sentinels[i]);
+
+    // Same name, different fabric (deeper config memory): fingerprint
+    // mismatch, so prepare() must retrain instead of loading sentinels.
+    arch::CgraConfig cfg_b = cfg_a;
+    cfg_b.configDepth = cfg_a.configDepth + 8;
+    arch::CgraArch b(cfg_b);
+    ASSERT_EQ(a.name(), b.name());
+    LisaFramework fw_other(b, tinyConfig(cache));
+    fw_other.prepare();
+    ASSERT_EQ(fw_other.labelAccuracy().size(), 4u);
+    EXPECT_NE(fw_other.labelAccuracy(), sentinels);
+
+    // The retrain refreshed the cache under the new fingerprint.
+    std::ifstream in(meta_path);
+    uint64_t fp = 0;
+    ASSERT_TRUE(static_cast<bool>(in >> fp));
+    arch::ArchContext ctx_b(b, std::string());
+    EXPECT_EQ(fp, ctx_b.fingerprint());
+}
+
+TEST_F(FrameworkTest, MetaWithoutFingerprintIsRejected)
+{
+    // Pre-fingerprint caches (meta = four accuracy lines) must be treated
+    // as stale: the first value parses as a fingerprint and mismatches.
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    LisaFramework fw(c, tinyConfig(cache));
+    fw.prepare();
+    const std::string meta_path = cache + "/" + c.name() + ".meta";
+    {
+        std::ofstream out(meta_path);
+        out << "0.9\n0.9\n0.9\n0.9\n";
+    }
+    LisaFramework fw2(c, tinyConfig(cache));
+    fw2.prepare();
+    ASSERT_EQ(fw2.labelAccuracy().size(), 4u);
+    for (double acc : fw2.labelAccuracy())
+        EXPECT_NE(acc, 0.9);
+}
+
+TEST_F(FrameworkTest, CompilePortfolioRacesAndReproduces)
+{
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    LisaFramework fw(c, tinyConfig(cache));
+    fw.prepare();
+    auto w = workloads::workloadByName("gemm");
+
+    PortfolioConfig pc;
+    for (map::SearchOptions *o : {&pc.lisa, &pc.sa, &pc.ilp, &pc.evo}) {
+        o->perIiBudget = 1.5;
+        o->totalBudget = 6.0;
+        o->seed = 5;
+    }
+    auto r1 = fw.compilePortfolio(w.dfg, pc);
+    ASSERT_TRUE(r1.success);
+    ASSERT_TRUE(r1.mapping.has_value());
+    EXPECT_TRUE(r1.mapping->valid());
+    ASSERT_EQ(r1.members.size(), 4u);
+    EXPECT_EQ(r1.members[0].name, "LISA");
+    EXPECT_EQ(r1.members[1].name, "SA");
+    EXPECT_EQ(r1.members[2].name, "ILP*");
+    EXPECT_EQ(r1.members[3].name, "EVO");
+    EXPECT_EQ(r1.winner, r1.members[static_cast<size_t>(r1.winnerRank)].name);
+
+    // The race must never be worse than the standalone LISA compile.
+    map::SearchOptions solo;
+    solo.perIiBudget = 1.5;
+    solo.totalBudget = 6.0;
+    solo.seed = 5;
+    auto lisa_only = fw.compile(w.dfg, solo);
+    ASSERT_TRUE(lisa_only.success);
+    EXPECT_LE(r1.ii, lisa_only.ii);
+
+    // Same (seeds, member set, threads): bit-identical winning mapping.
+    auto r2 = fw.compilePortfolio(w.dfg, pc);
+    ASSERT_TRUE(r2.success);
+    EXPECT_EQ(r2.winner, r1.winner);
+    EXPECT_EQ(r2.ii, r1.ii);
+    std::ostringstream t1, t2;
+    verify::writeMapping(*r1.mapping, t1);
+    verify::writeMapping(*r2.mapping, t2);
+    EXPECT_EQ(t2.str(), t1.str());
 }
 
 TEST_F(FrameworkTest, UnpreparedUsePanics)

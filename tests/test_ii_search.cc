@@ -191,6 +191,104 @@ TEST(SearchMinIi, AttemptBudgetsClampedToRemainingTime)
     }
 }
 
+TEST(SearchMinIi, SpatialUnmappableReportsMiiZero)
+{
+    // Regression: the spatial branch set result.mii = 1 before checking
+    // feasibility, so a kernel with ops the fabric cannot execute at all
+    // (resourceMii == -1) reported a bogus lower bound of 1. The temporal
+    // branch has always left mii at 0 in that case; spatial must match.
+    arch::SystolicArch s(5, 5);
+    auto trmm = workloads::polybenchKernel(
+        "trmm", workloads::KernelVariant::Streaming); // has cmp/select
+    SaMapper sa;
+    SearchOptions opts;
+    opts.totalBudget = 1.0;
+    auto r = searchMinIi(sa, trmm, s, opts);
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.mii, 0);
+}
+
+TEST(SearchMinIi, SpatialOversizedDfgReportsMiiZero)
+{
+    arch::SystolicArch s(3, 3); // 9 PEs
+    auto w = workloads::polybenchKernel(
+        "gemver", workloads::KernelVariant::Streaming); // 15 nodes
+    SaMapper sa;
+    SearchOptions opts;
+    opts.totalBudget = 1.0;
+    auto r = searchMinIi(sa, w, s, opts);
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.mii, 0);
+}
+
+TEST(SearchMinIi, SpatialSecondsIncludeVerification)
+{
+    // Regression: the spatial branch stamped result.seconds before the
+    // final verifier ran, so the reported compilation time excluded
+    // verification — unlike the temporal branch, which stamps after its
+    // sweep. Post-fix, total time bounds the verifier time on success.
+    arch::SystolicArch s(5, 5);
+    auto gemm = workloads::polybenchKernel(
+        "gemm", workloads::KernelVariant::Streaming);
+    SaMapper sa;
+    SearchOptions opts;
+    opts.perIiBudget = 2.0;
+    opts.totalBudget = 4.0;
+    auto r = searchMinIi(sa, gemm, s, opts);
+    ASSERT_TRUE(r.success);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GE(r.seconds, r.verifySeconds);
+}
+
+TEST(SearchMinIi, SpatialIncumbentDominationSkipsAttempt)
+{
+    // A portfolio sibling already achieved II 1 at a better rank: the
+    // spatial single shot can never win, so it must not launch at all.
+    arch::SystolicArch s(3, 5);
+    dfg::DfgBuilder b("c2");
+    auto x = b.load("x");
+    b.op(OpCode::Add, {x});
+    dfg::Dfg g = b.build();
+    RecordingMapper probe;
+    IiIncumbent incumbent;
+    incumbent.offer(1, 0);
+    SearchOptions opts;
+    opts.perIiBudget = 5.0;
+    opts.totalBudget = 5.0;
+    opts.incumbent = &incumbent;
+    opts.memberRank = 1;
+    auto r = searchMinIi(probe, g, s, opts);
+    EXPECT_FALSE(r.success);
+    EXPECT_TRUE(probe.budgets.empty());
+    EXPECT_EQ(r.cancelledAtIi, 1);
+    EXPECT_EQ(r.stats.incumbentCancels, 1u);
+}
+
+TEST(SearchMinIi, TemporalIncumbentBoundsSweep)
+{
+    // Incumbent holds (II 2, rank 0); this sweep races at rank 1. Its
+    // attempt at II 1 could still beat the incumbent, so it runs; II 2
+    // and above are dominated (same II, worse rank) and abandoned.
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    dfg::DfgBuilder b("c2");
+    auto x = b.load("x");
+    b.op(OpCode::Add, {x});
+    dfg::Dfg g = b.build();
+    RecordingMapper probe;
+    IiIncumbent incumbent;
+    incumbent.offer(2, 0);
+    SearchOptions opts;
+    opts.perIiBudget = 0.05;
+    opts.totalBudget = 5.0;
+    opts.incumbent = &incumbent;
+    opts.memberRank = 1;
+    auto r = searchMinIi(probe, g, c, opts);
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(probe.budgets.size(), 1u);
+    EXPECT_EQ(r.cancelledAtIi, 2);
+    EXPECT_EQ(r.stats.incumbentCancels, 1u);
+}
+
 TEST(SearchMinIi, MappedSystolicKernelHasIiOne)
 {
     arch::SystolicArch s(5, 5);

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "support/json.hh"
 #include "support/random.hh"
 #include "support/stopwatch.hh"
 #include "support/table.hh"
@@ -76,6 +77,35 @@ TEST(Rng, ChanceExtremes)
         EXPECT_FALSE(rng.chance(0.0));
         EXPECT_TRUE(rng.chance(1.0));
     }
+}
+
+TEST(JsonEscape, PassesPlainStringsThrough)
+{
+    EXPECT_EQ(jsonEscape(""), "");
+    EXPECT_EQ(jsonEscape("cgra4x4"), "cgra4x4");
+    EXPECT_EQ(jsonEscape("ILP*"), "ILP*");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("\"\\\""), "\\\"\\\\\\\"");
+}
+
+TEST(JsonEscape, EscapesControlCharacters)
+{
+    EXPECT_EQ(jsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+    EXPECT_EQ(jsonEscape("\b\f"), "\\b\\f");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonEscape, LeavesUtf8BytesAlone)
+{
+    // Multi-byte UTF-8 must pass through unmangled (bytes >= 0x80).
+    const std::string s = "kern\xc3\xa9l";
+    EXPECT_EQ(jsonEscape(s), s);
 }
 
 TEST(Stopwatch, MonotonicNonNegative)
