@@ -16,6 +16,7 @@ main(int argc, char **argv)
     auto results = compareMappers(accel, workloads::polybenchSuite(),
                                   scaled(CompareOptions{}));
     printIiTable("Fig 9a: 4x4 baseline CGRA", results);
+    printRoutingTable("Fig 9a: 4x4 baseline CGRA routing", results);
     if (portfolioEnabled())
         printPortfolioTable("Fig 9a: 4x4 baseline CGRA portfolio",
                             results);

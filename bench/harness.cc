@@ -9,6 +9,7 @@
 
 #include "arch/arch_context.hh"
 #include "core/lisa_mapper.hh"
+#include "mapping/routability_filter.hh"
 #include "mappers/exact_mapper.hh"
 #include "mappers/sa_mapper.hh"
 #include "power/power_model.hh"
@@ -144,9 +145,17 @@ initBench(int argc, char **argv)
             threads = std::max(1, std::atoi(arg.c_str() + 10));
         } else if (arg == "--portfolio") {
             g_portfolio = true;
+        } else if (arg == "--collect-routability") {
+            map::setRoutabilityCollection("routability_samples.txt");
+            map::setRoutabilityMode(map::RoutabilityMode::Collect);
+        } else if (arg.rfind("--collect-routability=", 0) == 0) {
+            map::setRoutabilityCollection(
+                arg.substr(std::string("--collect-routability=").size()));
+            map::setRoutabilityMode(map::RoutabilityMode::Collect);
         } else {
             std::cerr << "[bench] ignoring unknown argument '" << arg
-                      << "' (supported: --threads N, --portfolio)\n";
+                      << "' (supported: --threads N, --portfolio, "
+                         "--collect-routability[=FILE])\n";
         }
     }
     ThreadPool::setGlobalThreads(threads);
@@ -361,11 +370,14 @@ compareMappers(const arch::Accelerator &accel,
     const double route_calls_per_sec =
         secs > 0 ? static_cast<double>(suite_stats.router.routeEdgeCalls) / secs
                  : 0.0;
+    const double failure_rate = suite_stats.router.failureRate();
     std::cerr << "[bench] " << accel.name() << " suite: wall-clock "
               << fmtDouble(secs) << " s, threads=" << threads << ", "
               << total_attempts << " annealing attempts ("
               << fmtDouble(attempts_per_sec) << " attempts/s, "
-              << fmtDouble(route_calls_per_sec) << " route-calls/s)\n";
+              << fmtDouble(route_calls_per_sec) << " route-calls/s, "
+              << fmtDouble(failure_rate * 100.0, 1)
+              << "% route failures)\n";
     if (metricsEnabled()) {
         std::ostringstream os;
         os << "{\"event\":\"suite\",\"accel\":\"" << accel.name()
@@ -374,6 +386,7 @@ compareMappers(const arch::Accelerator &accel,
            << ",\"attempts\":" << total_attempts
            << ",\"attemptsPerSec\":" << attempts_per_sec
            << ",\"routeCallsPerSec\":" << route_calls_per_sec
+           << ",\"routeFailureRate\":" << failure_rate
            << ",\"stats\":" << suite_stats.toJson() << "}";
         emitMetricsLine(os.str());
     }
@@ -451,6 +464,25 @@ printPowerTable(const std::string &title,
         };
         t.addRow({r.kernel, norm(mops(r.ilp)), norm(mops(r.sa)),
                   lisa > 0 ? "1.00" : "0.00"});
+    }
+    t.print(std::cout);
+}
+
+void
+printRoutingTable(const std::string &title,
+                  const std::vector<CompareResult> &results)
+{
+    std::cout << "\n== " << title
+              << " (route calls, failure rate, filter activity) ==\n";
+    Table t({"kernel", "calls", "fail%", "filtered", "saved"});
+    for (const auto &r : results) {
+        map::RouterCounters c;
+        for (const map::SearchResult *s : {&r.ilp, &r.sa, &r.lisa})
+            c.merge(s->stats.router);
+        t.addRow({r.kernel, std::to_string(c.routeEdgeCalls),
+                  fmtDouble(c.failureRate() * 100.0, 1),
+                  std::to_string(c.filterRejects),
+                  std::to_string(c.filterRejects - c.filterShadowRoutes)});
     }
     t.print(std::cout);
 }

@@ -121,6 +121,14 @@ void printSuccessTable(const std::string &title,
 void printPowerTable(const std::string &title,
                      const std::vector<CompareResult> &results);
 
+/**
+ * Routing observability per kernel (counters merged over ILP*, SA and
+ * LISA): route calls, failure rate, routability-filter rejects and the
+ * router invocations those rejects saved.
+ */
+void printRoutingTable(const std::string &title,
+                       const std::vector<CompareResult> &results);
+
 /** Fig 9a style portfolio row: winner, II, race seconds per kernel. */
 void printPortfolioTable(const std::string &title,
                          const std::vector<CompareResult> &results);

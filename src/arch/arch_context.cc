@@ -473,6 +473,32 @@ ArchContext::seedFromWarm(OracleStore &store)
     }
 }
 
+std::shared_ptr<const map::RoutabilityModel>
+ArchContext::routabilityModel() const
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    return routability;
+}
+
+void
+ArchContext::setRoutabilityModel(
+    std::shared_ptr<const map::RoutabilityModel> model)
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    routability = std::move(model);
+    routabilityAttempted = true;
+}
+
+bool
+ArchContext::claimRoutabilityLoad()
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    if (routabilityAttempted)
+        return false;
+    routabilityAttempted = true;
+    return true;
+}
+
 std::string
 ArchContext::envCacheDir()
 {

@@ -66,6 +66,10 @@
 
 #include "arch/mrrg.hh"
 
+namespace lisa::map {
+struct RoutabilityModel;
+}
+
 namespace lisa::arch {
 
 class ArchContext;
@@ -227,6 +231,18 @@ class ArchContext
     bool load(const std::string &path);
     /** @} */
 
+    /** @{ Context-held routability admission model (see
+     *  mapping/routability_filter.hh): one immutable copy per fabric,
+     *  shared by every workspace that binds this context. The slot is
+     *  claim-once — the first claimRoutabilityLoad() returns true and
+     *  its caller performs the single disk-load attempt; setting a model
+     *  directly (tests, trainers) also consumes the claim. */
+    std::shared_ptr<const map::RoutabilityModel> routabilityModel() const;
+    void
+    setRoutabilityModel(std::shared_ptr<const map::RoutabilityModel> model);
+    bool claimRoutabilityLoad();
+    /** @} */
+
     /** Path of this accelerator's cache file ("" without a cache dir). */
     std::string cacheFilePath() const;
 
@@ -276,6 +292,9 @@ class ArchContext
     std::map<int, std::shared_ptr<const Mrrg>> mrrgs;
     std::map<StoreKey, std::shared_ptr<OracleStore>> stores;
     std::vector<WarmBinding> warm; ///< loaded, not yet consumed
+    /** Routability admission model slot (under mu); see above. */
+    std::shared_ptr<const map::RoutabilityModel> routability;
+    bool routabilityAttempted = false;
 };
 
 } // namespace lisa::arch

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "arch/arch_context.hh"
+#include "mapping/routability_filter.hh"
 #include "mappers/evo_mapper.hh"
 #include "mappers/exact_mapper.hh"
 #include "mappers/sa_mapper.hh"
@@ -104,6 +105,11 @@ LisaFramework::prepare()
 {
     if (ready)
         return;
+    // Best-effort load of the routability admission model shipped beside
+    // the label models (claim-once per context; a missing, corrupt or
+    // foreign-fingerprint file just leaves the filter disabled).
+    if (!cfg.cacheDir.empty())
+        map::loadRoutabilityModel(*ctx, cfg.cacheDir);
     if (loadFromCache()) {
         inform("loaded cached models for ", arch->name());
         ready = true;

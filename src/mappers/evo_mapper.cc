@@ -63,6 +63,7 @@ EvoMapper::attemptStream(const MapContext &ctx)
     Stopwatch total;
     RouterWorkspace ws;
     ws.archContext = ctx.archCtx;
+    ws.filter.bind(ctx.archCtx);
     MapperStats stats;
     Mapping scratch(ctx.dfg, ctx.mrrg);
     const auto &accel = scratch.mrrg().accel();

@@ -132,6 +132,12 @@ ExactMapper::tryMap(const MapContext &ctx)
     Dfs dfs{ctx, mapping, cfg, ctx.analysis.topoOrder(), Stopwatch{},
             false, {}};
     dfs.ws.archContext = ctx.archCtx;
+    // The enumeration is time-limited (anytime), not a completeness
+    // proof, so it takes learned rejects like every other mapper: a
+    // pruned subtree trades a small false-reject risk (policed by the
+    // II-parity CI gate) for finishing the search far sooner. Callers
+    // that do need router-exact behavior can restrictToProvable().
+    dfs.ws.filter.bind(ctx.archCtx);
     const bool found = dfs.place(0) && mapping.valid();
     if (ctx.stats) {
         MapperStats stats;

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Cold paths of the routability filter: mode-knob resolution, the
+ * --collect-routability sample sink, and model (de)serialization with the
+ * fabric-fingerprint stale-model guard. The hot admission path lives in
+ * routability_filter.hh (lint-guarded, allocation-free).
+ */
+
+#include "mapping/routability_filter.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <system_error>
+#include <utility>
+
+#include "arch/arch_context.hh"
+#include "nn/module.hh"
+#include "nn/serialize.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace lisa::map {
+
+namespace {
+
+constexpr int kModeUnresolved = -1;
+std::atomic<int> g_mode{kModeUnresolved};
+
+int
+parseModeEnv()
+{
+    const char *env = std::getenv("LISA_ROUTE_FILTER");
+    if (env == nullptr)
+        return static_cast<int>(RoutabilityMode::On);
+    const std::string v(env);
+    if (v.empty() || v == "on" || v == "1")
+        return static_cast<int>(RoutabilityMode::On);
+    if (v == "off" || v == "0")
+        return static_cast<int>(RoutabilityMode::Off);
+    if (v == "strict")
+        return static_cast<int>(RoutabilityMode::Strict);
+    if (v == "collect")
+        return static_cast<int>(RoutabilityMode::Collect);
+    warn("LISA_ROUTE_FILTER='", v,
+         "' is not off/on/strict/collect; filter disabled");
+    return static_cast<int>(RoutabilityMode::Off);
+}
+
+/** Serialized sample sink shared by every collecting workspace. */
+struct Collector
+{
+    std::mutex mu;
+    std::string path;
+    std::ofstream out;
+    bool headerWritten = false;
+    uint64_t successTick = 0;
+};
+
+Collector &
+collector()
+{
+    static Collector c;
+    return c;
+}
+
+std::string
+modelPath(const std::string &dir, const std::string &accel_name)
+{
+    return dir + "/" + accel_name + ".routability";
+}
+
+} // namespace
+
+RoutabilityMode
+routabilityMode()
+{
+    int m = g_mode.load(std::memory_order_relaxed);
+    if (m == kModeUnresolved) {
+        m = parseModeEnv();
+        g_mode.store(m, std::memory_order_relaxed);
+    }
+    return static_cast<RoutabilityMode>(m);
+}
+
+void
+setRoutabilityMode(RoutabilityMode mode)
+{
+    g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+void
+setRoutabilityCollection(std::string path)
+{
+    Collector &c = collector();
+    const std::lock_guard<std::mutex> lock(c.mu);
+    if (c.out.is_open())
+        c.out.close();
+    c.path = std::move(path);
+    c.headerWritten = false;
+    c.successTick = 0;
+}
+
+bool
+routabilityCollecting()
+{
+    Collector &c = collector();
+    const std::lock_guard<std::mutex> lock(c.mu);
+    return !c.path.empty();
+}
+
+void
+RoutabilityFilter::bind(arch::ArchContext *ctx)
+{
+    boundCtx_ = ctx;
+    keepalive_ = ctx != nullptr ? ctx->routabilityModel() : nullptr;
+    model_ = keepalive_.get();
+    mode_ = ctx != nullptr ? routabilityMode() : RoutabilityMode::Off;
+    if ((mode_ == RoutabilityMode::On ||
+         mode_ == RoutabilityMode::Strict) &&
+        model_ == nullptr)
+        mode_ = RoutabilityMode::Off;
+    rejectTick_ = 0;
+}
+
+void
+RoutabilityFilter::logSample(const double *f, bool routed) const
+{
+    Collector &c = collector();
+    const std::lock_guard<std::mutex> lock(c.mu);
+    if (c.path.empty())
+        return;
+    // Failures are kept unconditionally; successes 1-in-4 to rebalance
+    // the classes (the trainer's threshold sweep is ratio-invariant).
+    if (routed && c.successTick++ % 4 != 0)
+        return;
+    if (!c.out.is_open()) {
+        c.out.open(c.path, std::ios::trunc);
+        if (!c.out) {
+            warn("routability: cannot open collection file '", c.path,
+                 "'; collection disabled");
+            c.path.clear();
+            return;
+        }
+    }
+    if (!c.headerWritten) {
+        c.out << "# lisa-routability "
+              << (boundCtx_ != nullptr ? boundCtx_->accel().name() : "?")
+              << ' '
+              << (boundCtx_ != nullptr ? boundCtx_->fingerprint() : 0)
+              << ' ' << RoutabilityModel::kFeatureVersion << '\n';
+        c.headerWritten = true;
+    }
+    c.out << (routed ? 1 : 0);
+    for (int i = 0; i < RoutabilityModel::kFeatureCount; ++i)
+        c.out << ' ' << f[i];
+    c.out << '\n';
+}
+
+bool
+flattenRoutabilityMlp(const nn::Mlp &mlp, RoutabilityModel &out)
+{
+    const nn::Tensor *w1 = nullptr;
+    const nn::Tensor *b1 = nullptr;
+    const nn::Tensor *w2 = nullptr;
+    const nn::Tensor *b2 = nullptr;
+    for (const auto &[name, t] : mlp.parameters()) {
+        if (name == "routability.fc1.w")
+            w1 = &t;
+        else if (name == "routability.fc1.b")
+            b1 = &t;
+        else if (name == "routability.fc2.w")
+            w2 = &t;
+        else if (name == "routability.fc2.b")
+            b2 = &t;
+    }
+    if (w1 == nullptr || b1 == nullptr || w2 == nullptr || b2 == nullptr)
+        return false;
+    const int hidden = w1->cols();
+    if (w1->rows() != RoutabilityModel::kFeatureCount || hidden < 1 ||
+        hidden > RoutabilityModel::kMaxHidden)
+        return false;
+    if (b1->rows() != 1 || b1->cols() != hidden || w2->rows() != hidden ||
+        w2->cols() != 1 || b2->rows() != 1 || b2->cols() != 1)
+        return false;
+    out.hidden = hidden;
+    const size_t h = static_cast<size_t>(hidden);
+    out.w1.assign(h * RoutabilityModel::kFeatureCount, 0.0);
+    out.b1.assign(h, 0.0);
+    out.w2.assign(h, 0.0);
+    for (int j = 0; j < hidden; ++j) {
+        for (int i = 0; i < RoutabilityModel::kFeatureCount; ++i)
+            out.w1[static_cast<size_t>(j) *
+                       RoutabilityModel::kFeatureCount +
+                   static_cast<size_t>(i)] = w1->at(i, j);
+        out.b1[static_cast<size_t>(j)] = b1->at(0, j);
+        out.w2[static_cast<size_t>(j)] = w2->at(j, 0);
+    }
+    out.b2 = b2->at(0, 0);
+    return true;
+}
+
+bool
+saveRoutabilityModel(const nn::Mlp &mlp, uint64_t fingerprint,
+                     double threshold, const std::string &dir,
+                     const std::string &accel_name)
+{
+    RoutabilityModel flat;
+    if (!flattenRoutabilityMlp(mlp, flat))
+        return false;
+    const std::string path = modelPath(dir, accel_name);
+    if (!nn::saveModuleFile(mlp, "routability", path))
+        return false;
+    std::ofstream meta(path + ".meta", std::ios::trunc);
+    if (!meta)
+        return false;
+    meta.precision(17);
+    meta << fingerprint << '\n' << RoutabilityModel::kFeatureVersion
+         << '\n' << flat.hidden << '\n' << threshold << '\n';
+    return static_cast<bool>(meta);
+}
+
+std::shared_ptr<const RoutabilityModel>
+readRoutabilityModel(const std::string &dir, const std::string &accel_name,
+                     std::string *error)
+{
+    const std::string path = modelPath(dir, accel_name);
+    std::ifstream meta(path + ".meta");
+    uint64_t fp = 0;
+    int version = 0;
+    int hidden = 0;
+    double threshold = 0.0;
+    if (!meta || !(meta >> fp >> version >> hidden >> threshold)) {
+        if (error != nullptr)
+            *error = "missing or malformed meta file " + path + ".meta";
+        return nullptr;
+    }
+    if (version != RoutabilityModel::kFeatureVersion) {
+        if (error != nullptr)
+            *error = "feature version " + std::to_string(version) +
+                     " != " +
+                     std::to_string(RoutabilityModel::kFeatureVersion);
+        return nullptr;
+    }
+    if (hidden < 1 || hidden > RoutabilityModel::kMaxHidden) {
+        if (error != nullptr)
+            *error = "implausible hidden width " + std::to_string(hidden);
+        return nullptr;
+    }
+    Rng rng(1);
+    nn::Mlp mlp(RoutabilityModel::kFeatureCount, hidden, 1, rng,
+                "routability");
+    std::string load_error;
+    if (!nn::loadModuleFile(mlp, path, &load_error)) {
+        if (error != nullptr)
+            *error = load_error.empty() ? "unreadable model file"
+                                        : load_error;
+        return nullptr;
+    }
+    auto model = std::make_shared<RoutabilityModel>();
+    if (!flattenRoutabilityMlp(mlp, *model)) {
+        if (error != nullptr)
+            *error = "model file has unexpected parameter shapes";
+        return nullptr;
+    }
+    model->fingerprint = fp;
+    model->threshold = threshold;
+    return model;
+}
+
+bool
+loadRoutabilityModel(arch::ArchContext &ctx, const std::string &dir)
+{
+    if (!ctx.claimRoutabilityLoad())
+        return ctx.routabilityModel() != nullptr;
+    if (dir.empty())
+        return false;
+    const std::string path = modelPath(dir, ctx.accel().name());
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec))
+        return false; // no model shipped for this accelerator: stay quiet
+    std::string error;
+    auto model = readRoutabilityModel(dir, ctx.accel().name(), &error);
+    if (model == nullptr) {
+        inform("routability: ignoring ", path, " (", error,
+               "); filter disabled");
+        return false;
+    }
+    if (model->fingerprint != ctx.fingerprint()) {
+        inform("routability: ignoring ", path,
+               " (fabric fingerprint mismatch); filter disabled");
+        return false;
+    }
+    ctx.setRoutabilityModel(std::move(model));
+    return true;
+}
+
+} // namespace lisa::map

@@ -1,6 +1,7 @@
 #include "mapping/router.hh"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 
 #include "mapping/router_workspace.hh"
@@ -344,6 +345,7 @@ routeTemporal(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
                 ++ws.counters.dpCellsSkipped;
                 continue;
             }
+            ++ws.counters.pqPops; // DP cell expanded (frontier pop)
             for (int next : mrrg.moveTargets(res)) {
                 const int nidx = mrrg.indexInLayer(next);
                 double c;
@@ -493,22 +495,20 @@ routeSpatial(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
     return &result;
 }
 
-} // namespace
-
+/**
+ * The metered search-kernel dispatch of routeEdge: stopwatch, call and
+ * failure counting, growth accounting, mode selection. Kept separate so
+ * the routability filter can shadow-route a rejected edge through the
+ * identical accounting path.
+ */
 const RouteResult *
-routeEdge(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
-          RouterWorkspace &ws)
+dispatchRoute(const Mapping &mapping, dfg::EdgeId e, const dfg::Edge &edge,
+              const RouterCosts &costs, RouterWorkspace &ws)
 {
     Stopwatch timer;
     ++ws.counters.routeEdgeCalls;
     const size_t seed_cap = ws.seeds.capacity();
     const size_t path_cap = ws.result.path.capacity();
-
-    const dfg::Edge &edge = mapping.dfg().edge(e);
-    if (!mapping.isPlaced(edge.src) || !mapping.isPlaced(edge.dst))
-        panic("routeEdge: edge ", e, " has unplaced endpoints");
-    if (mapping.isRouted(e))
-        panic("routeEdge: edge ", e, " already routed");
 
     const RouteResult *out;
     if (mapping.mrrg().accel().temporalMapping()) {
@@ -536,6 +536,64 @@ routeEdge(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
     if (ws.result.path.capacity() != path_cap)
         ws.noteGrowth();
     ws.counters.routeSeconds += timer.seconds();
+    return out;
+}
+
+} // namespace
+
+const RouteResult *
+routeEdge(const Mapping &mapping, dfg::EdgeId e, const RouterCosts &costs,
+          RouterWorkspace &ws)
+{
+    const dfg::Edge &edge = mapping.dfg().edge(e);
+    if (!mapping.isPlaced(edge.src) || !mapping.isPlaced(edge.dst))
+        panic("routeEdge: edge ", e, " has unplaced endpoints");
+    if (mapping.isRouted(e))
+        panic("routeEdge: edge ", e, " already routed");
+
+    // Learned routability admission (temporal fabrics, optimized kernels
+    // only): a predicted-unroutable candidate skips the search entirely
+    // in `on` mode, is audited in `strict` mode (the router's answer
+    // wins, so behavior is bit-identical to `off`), and is only observed
+    // in `collect` mode.
+    std::array<double, RoutabilityModel::kFeatureCount> feats;
+    RoutabilityVerdict verdict;
+    if (!ws.referenceMode && ws.filter.enabled() &&
+        mapping.mrrg().accel().temporalMapping()) {
+        ws.oracle.bind(mapping.mrrgPtr(), costs, ws.archContext,
+                       ws.counters);
+        verdict = ws.filter.assess(mapping, e, costs.allowOveruse,
+                                   ws.oracle, ws.counters, feats.data());
+        if (verdict.consulted)
+            ++ws.counters.filterQueries;
+        if (verdict.reject) {
+            ++ws.counters.filterRejects;
+            if (ws.filter.mode() == RoutabilityMode::Strict) {
+                // Audit every predicted reject; the real route decides.
+                ++ws.counters.filterShadowRoutes;
+                const RouteResult *out =
+                    dispatchRoute(mapping, e, edge, costs, ws);
+                if (out != nullptr)
+                    ++ws.counters.filterFalseRejects;
+                return out;
+            }
+            // `on` mode: shadow-route a deterministic sample of the
+            // learned rejects to estimate the false-reject rate. The
+            // verdict stands either way — sampling spends time, never
+            // changes results.
+            if (!verdict.provable && ws.filter.shadowDue()) {
+                ++ws.counters.filterShadowRoutes;
+                if (dispatchRoute(mapping, e, edge, costs, ws) != nullptr)
+                    ++ws.counters.filterFalseRejects;
+            }
+            return nullptr;
+        }
+    }
+
+    const RouteResult *out = dispatchRoute(mapping, e, edge, costs, ws);
+    if (verdict.consulted &&
+        ws.filter.mode() == RoutabilityMode::Collect)
+        ws.filter.logSample(feats.data(), out != nullptr);
     return out;
 }
 

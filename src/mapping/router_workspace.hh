@@ -32,6 +32,7 @@
 
 #include "dfg/dfg.hh"
 #include "mapping/distance_oracle.hh"
+#include "mapping/routability_filter.hh"
 #include "mapping/router.hh"
 
 namespace lisa::map {
@@ -43,11 +44,14 @@ namespace lisa::map {
  */
 struct RouterCounters
 {
-    /** routeEdge invocations (either mode, including trivial self-loops). */
+    /** routeEdge invocations (either mode, including trivial self-loops).
+     *  Calls rejected by the routability filter without invoking a search
+     *  kernel are *not* counted here — they count filterRejects. */
     uint64_t routeEdgeCalls = 0;
     /** routeEdge calls that found no route. */
     uint64_t routeFailures = 0;
-    /** Priority-queue pops of the spatial Dijkstra search. */
+    /** Search-frontier pops: spatial Dijkstra/A* heap pops plus temporal
+     *  DP cells expanded. */
     uint64_t pqPops = 0;
     /** Cost-label improvements (Dijkstra relaxations + DP transitions). */
     uint64_t relaxations = 0;
@@ -67,8 +71,30 @@ struct RouterCounters
     uint64_t contextHits = 0;
     /** Shared-context artifacts derived fresh (first consumer pays). */
     uint64_t contextMisses = 0;
+    /** Routability-filter admission queries (assess() consultations). */
+    uint64_t filterQueries = 0;
+    /** Queries predicted unroutable. In `on` mode these skip the router
+     *  entirely; in `strict` mode they are still routed for real. */
+    uint64_t filterRejects = 0;
+    /** Predicted rejects that were routed anyway to audit the prediction
+     *  (the deterministic 1-in-N sample in `on` mode; every reject in
+     *  `strict` mode). Shadow routes do count routeEdgeCalls. */
+    uint64_t filterShadowRoutes = 0;
+    /** Shadow-routed rejects the router in fact satisfied (false
+     *  rejects); filterShadowRoutes - filterFalseRejects succeeded. */
+    uint64_t filterFalseRejects = 0;
     /** Wall-clock seconds spent inside routeEdge. */
     double routeSeconds = 0.0;
+
+    /** Fraction of route calls that failed (0 when none were made). */
+    double
+    failureRate() const
+    {
+        return routeEdgeCalls > 0
+                   ? static_cast<double>(routeFailures) /
+                         static_cast<double>(routeEdgeCalls)
+                   : 0.0;
+    }
 
     void
     merge(const RouterCounters &o)
@@ -83,6 +109,10 @@ struct RouterCounters
         oracleHits += o.oracleHits;
         contextHits += o.contextHits;
         contextMisses += o.contextMisses;
+        filterQueries += o.filterQueries;
+        filterRejects += o.filterRejects;
+        filterShadowRoutes += o.filterShadowRoutes;
+        filterFalseRejects += o.filterFalseRejects;
         routeSeconds += o.routeSeconds;
     }
 
@@ -237,6 +267,10 @@ class RouterWorkspace
     /** Static-distance table views for goal-directed search (fetched
      *  lazily from the shared store, invalidated on MRRG/cost changes). */
     DistanceOracle oracle;
+
+    /** Learned routability admission front; inert until a mapper binds
+     *  it to an ArchContext holding a model (see routability_filter.hh). */
+    RoutabilityFilter filter;
 
     /** Shared arch-artifact cache to resolve oracle tables through; null
      *  = build a workspace-private store (historical behavior). Set by

@@ -30,6 +30,7 @@ HOT_FILES=(
     src/mapping/router_workspace.hh
     src/mapping/distance_oracle.cc
     src/mapping/distance_oracle.hh
+    src/mapping/routability_filter.hh
     src/arch/arch_context.hh
 )
 

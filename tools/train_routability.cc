@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Offline trainer for the routability admission model.
+ *
+ * Input is a sample file produced by a bench binary running with
+ * --collect-routability: a header line
+ *
+ *   # lisa-routability <accel> <fingerprint> <featureVersion>
+ *
+ * followed by one "<routed> <f0> ... <f9>" line per observed route call.
+ * The tool fits a small MLP to predict routability, picks the admission
+ * threshold as the largest score that keeps the false-reject rate on
+ * *routable* validation samples below a budget (default 0.5%), reports
+ * validation precision/recall, and writes
+ * <out-dir>/<accel>.routability(.meta) for the filter to load lazily.
+ *
+ * Usage: train_routability <samples-file> [out-dir=lisa_models]
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mapping/routability_filter.hh"
+#include "nn/module.hh"
+#include "nn/ops.hh"
+#include "nn/optimizer.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+using namespace lisa;
+
+namespace {
+
+constexpr int kF = map::RoutabilityModel::kFeatureCount;
+constexpr int kHidden = 48;
+constexpr int kEpochs = 600;
+constexpr size_t kMaxSamples = 80000;
+// The threshold trades viable routes for recall on the hard-capacity
+// failures. Conservatism wins twice here: a false reject costs the
+// search a candidate it wanted (the II-parity CI gate polices that),
+// and aggressive rejection makes the exact mapper's enumeration churn
+// through far more placements than just routing them would cost.
+constexpr double kFalseRejectBudget = 0.005;
+
+struct Sample
+{
+    double f[kF];
+    bool routed;
+};
+
+double
+scoreRow(const nn::Tensor &pred, size_t i)
+{
+    return pred.at(static_cast<int>(i), 0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argc > 3) {
+        std::cerr << "usage: train_routability <samples-file> "
+                     "[out-dir=lisa_models]\n";
+        return 2;
+    }
+    const std::string samples_path = argv[1];
+    const std::string out_dir = argc > 2 ? argv[2] : "lisa_models";
+
+    std::ifstream in(samples_path);
+    if (!in)
+        fatal("cannot open sample file ", samples_path);
+
+    std::string hash;
+    std::string magic;
+    std::string accel;
+    uint64_t fingerprint = 0;
+    int version = 0;
+    if (!(in >> hash >> magic >> accel >> fingerprint >> version) ||
+        hash != "#" || magic != "lisa-routability")
+        fatal(samples_path, ": missing lisa-routability header");
+    if (version != map::RoutabilityModel::kFeatureVersion)
+        fatal(samples_path, ": feature version ", version,
+              " does not match this build (",
+              map::RoutabilityModel::kFeatureVersion, ")");
+
+    std::vector<Sample> samples;
+    Sample s;
+    int label = 0;
+    while (in >> label) {
+        for (double &v : s.f)
+            if (!(in >> v))
+                fatal(samples_path, ": truncated sample line");
+        s.routed = label != 0;
+        // The filter only consults the model for contested
+        // (hard-capacity) calls — overuse-allowed routing is admitted
+        // outright — so train and threshold on that regime alone.
+        // Tolerates sample files from builds that still logged both.
+        if (s.f[9] == 0.0)
+            samples.push_back(s);
+    }
+    if (samples.size() < 100)
+        fatal(samples_path, ": only ", samples.size(),
+              " samples; collect more before training");
+
+    Rng rng(42);
+    rng.shuffle(samples);
+    if (samples.size() > kMaxSamples)
+        samples.resize(kMaxSamples);
+
+    const size_t val_count = std::max<size_t>(1, samples.size() / 10);
+    const size_t train_count = samples.size() - val_count;
+    size_t routable = 0;
+    for (const Sample &x : samples)
+        routable += x.routed ? 1 : 0;
+    std::cout << "samples: " << samples.size() << " (" << routable
+              << " routable), train " << train_count << ", val "
+              << val_count << ", accel " << accel << "\n";
+
+    auto tensorOf = [&](size_t begin, size_t count, nn::Tensor &x,
+                        nn::Tensor &y) {
+        x = nn::Tensor(static_cast<int>(count), kF);
+        y = nn::Tensor(static_cast<int>(count), 1);
+        for (size_t i = 0; i < count; ++i) {
+            for (int j = 0; j < kF; ++j)
+                x.at(static_cast<int>(i), j) = samples[begin + i].f[j];
+            y.at(static_cast<int>(i), 0) =
+                samples[begin + i].routed ? 1.0 : 0.0;
+        }
+    };
+    nn::Tensor train_x;
+    nn::Tensor train_y;
+    nn::Tensor val_x;
+    nn::Tensor val_y;
+    tensorOf(0, train_count, train_x, train_y);
+    tensorOf(train_count, val_count, val_x, val_y);
+
+    Rng init_rng(1);
+    nn::Mlp mlp(kF, kHidden, 1, init_rng, "routability");
+    nn::Adam opt;
+    opt.attach(mlp);
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+        nn::Tensor loss = nn::mseLoss(mlp.forward(train_x), train_y);
+        loss.backward();
+        opt.step();
+        if (epoch % 50 == 0 || epoch == kEpochs - 1)
+            std::cout << "epoch " << epoch << ": train mse "
+                      << loss.at(0, 0) << "\n";
+    }
+
+    // Threshold: the largest score admitting all but kFalseRejectBudget
+    // of the routable validation samples (conservative — the filter must
+    // almost never veto a route the router would have found).
+    const nn::Tensor val_pred = mlp.forward(val_x);
+    std::vector<double> routable_scores;
+    for (size_t i = 0; i < val_count; ++i)
+        if (val_y.at(static_cast<int>(i), 0) > 0.5)
+            routable_scores.push_back(scoreRow(val_pred, i));
+    if (routable_scores.empty())
+        fatal("validation split has no routable samples");
+    std::sort(routable_scores.begin(), routable_scores.end());
+    const size_t cut = static_cast<size_t>(
+        static_cast<double>(routable_scores.size()) * kFalseRejectBudget);
+    const double threshold = routable_scores[cut] - 1e-9;
+
+    size_t tp = 0;
+    size_t fp = 0;
+    size_t fn = 0;
+    for (size_t i = 0; i < val_count; ++i) {
+        const bool reject = scoreRow(val_pred, i) < threshold;
+        const bool unroutable = val_y.at(static_cast<int>(i), 0) < 0.5;
+        tp += (reject && unroutable) ? 1 : 0;
+        fp += (reject && !unroutable) ? 1 : 0;
+        fn += (!reject && unroutable) ? 1 : 0;
+    }
+    const double precision =
+        tp + fp > 0 ? static_cast<double>(tp) /
+                          static_cast<double>(tp + fp)
+                    : 1.0;
+    const double recall =
+        tp + fn > 0 ? static_cast<double>(tp) /
+                          static_cast<double>(tp + fn)
+                    : 0.0;
+    std::cout << "threshold " << threshold << ": validation precision "
+              << precision << ", unroutable recall " << recall << "\n";
+
+    if (!map::saveRoutabilityModel(mlp, fingerprint, threshold, out_dir,
+                                   accel))
+        fatal("cannot write model under ", out_dir);
+    std::cout << "wrote " << out_dir << "/" << accel
+              << ".routability (+.meta, fingerprint " << fingerprint
+              << ")\n";
+    return 0;
+}
