@@ -79,8 +79,15 @@ routabilityMode()
 {
     int m = g_mode.load(std::memory_order_relaxed);
     if (m == kModeUnresolved) {
-        m = parseModeEnv();
-        g_mode.store(m, std::memory_order_relaxed);
+        // First resolver publishes the env value, but a concurrent
+        // setRoutabilityMode() must win: a plain store here could
+        // overwrite a programmatic override installed between our load
+        // and the parse (lost update). On CAS failure `m` reloads the
+        // setter's value.
+        const int parsed = parseModeEnv();
+        if (g_mode.compare_exchange_strong(m, parsed,
+                                           std::memory_order_relaxed))
+            m = parsed;
     }
     return static_cast<RoutabilityMode>(m);
 }

@@ -177,6 +177,15 @@ class RoutabilityFilter
     bool shadowDue() { return (rejectTick_++ % kShadowStride) == 0; }
 
     /**
+     * Learned (tier-1, non-provable) vetoes issued since bind(). Every
+     * `on`-mode learned reject passes through shadowDue(), so this is
+     * exact there; tier-0 rejects never tick it. Completeness-sensitive
+     * callers use it to detect that a failed search may have been pruned
+     * by a fallible prediction (see ExactMapper's fail-closed rerun).
+     */
+    uint64_t learnedRejects() const { return rejectTick_; }
+
+    /**
      * Decide admission for edge @p e of @p mapping and fill @p f (size
      * kFeatureCount) with the feature vector when the learned tier ran.
      * @p oracle must already be bound to the mapping's MRRG. Pure over

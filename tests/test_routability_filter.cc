@@ -16,6 +16,7 @@
 #include "arch/arch_context.hh"
 #include "arch/cgra.hh"
 #include "core/lisa_mapper.hh"
+#include "dfg/builder.hh"
 #include "mapping/ii_search.hh"
 #include "mapping/routability_filter.hh"
 #include "mappers/evo_mapper.hh"
@@ -270,6 +271,64 @@ TEST(RoutabilityFilter, OnModeTier0RulesMatchRouterExactly)
     // Every reject skipped a router invocation the off run paid for.
     EXPECT_LT(on_result.stats.router.routeEdgeCalls,
               off_result.stats.router.routeEdgeCalls);
+}
+
+TEST(RoutabilityFilter, ExactMapperFailClosedUnderAlwaysRejectModel)
+{
+    // An adversarial model that vetoes every contested query would, taken
+    // at face value, flip every feasible instance to "unmappable" in the
+    // exact mapper — its hard-capacity calls are the learned tier's whole
+    // population. The fail-closed protocol reruns a completed
+    // empty-handed enumeration router-exact on the remaining budget, so
+    // the mapper must still find the filter-off mapping bit-identically.
+    // The instance is tiny on purpose: with every route vetoed the first
+    // pass degenerates to enumerating all placement prefixes, and it must
+    // *complete* (not time out) for the rerun to be the thing under test.
+    arch::CgraArch accel(arch::baselineCgra(4, 4));
+    arch::ArchContext ctx(accel, "");
+    ctx.setRoutabilityModel(makeModel(1e9, ctx.fingerprint()));
+    dfg::DfgBuilder b("c2");
+    auto x = b.load("x");
+    b.op(dfg::OpCode::Add, {x});
+    const dfg::Dfg g = b.build();
+    dfg::Analysis an(g);
+    auto mrrg = std::make_shared<const arch::Mrrg>(accel, 1);
+
+    auto runOnce = [&](map::RoutabilityMode mode, map::ExactConfig cfg,
+                       map::MapperStats *stats) {
+        ModeGuard guard(mode);
+        map::ExactMapper ex(cfg);
+        Rng rng(1);
+        map::MapContext mctx{g, an, mrrg, 10.0, rng};
+        mctx.archCtx = &ctx;
+        mctx.stats = stats;
+        auto m = ex.tryMap(mctx);
+        return m.has_value() ? verify::mappingToText(*m) : std::string{};
+    };
+
+    const std::string off_text =
+        runOnce(map::RoutabilityMode::Off, {}, nullptr);
+    ASSERT_FALSE(off_text.empty());
+
+    map::MapperStats on_stats;
+    const std::string on_text =
+        runOnce(map::RoutabilityMode::On, {}, &on_stats);
+    EXPECT_EQ(off_text, on_text);
+    // The first pass must actually have taken learned vetoes (every
+    // learned reject shadow-samples, the first unconditionally) for the
+    // router-exact rerun to be the thing under test.
+    EXPECT_GT(on_stats.router.filterShadowRoutes, 0u);
+
+    // Opting out of learned pruning takes tier-0 structural rejects
+    // only: same mapping in a single pass, no learned vetoes at all.
+    map::ExactConfig tier0_only;
+    tier0_only.learnedPruning = false;
+    map::MapperStats tier0_stats;
+    const std::string tier0_text =
+        runOnce(map::RoutabilityMode::On, tier0_only, &tier0_stats);
+    EXPECT_EQ(off_text, tier0_text);
+    EXPECT_EQ(tier0_stats.router.filterShadowRoutes, 0u);
+    EXPECT_EQ(tier0_stats.router.filterFalseRejects, 0u);
 }
 
 TEST(RoutabilityFilter, CollectModeWritesLabeledSamples)
