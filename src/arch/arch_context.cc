@@ -219,14 +219,17 @@ OracleStore::ensureHopTable(int layer, int pe, uint64_t &oracle_builds,
                             uint64_t &context_misses,
                             uint64_t &context_hits)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    support::LockGuard lock(mu);
     const size_t slot = slotOf(layer, pe);
+    // relaxed: all stores to hopPub happen under `mu`, which we hold, so
+    // this load can never race a publication; no ordering needed.
     if (const auto *t = hopPub[slot].load(std::memory_order_relaxed)) {
         ++context_hits; // lost a build race, or warm-seeded
         return *t;
     }
 
     const size_t canonical_slot = slotOf(0, pe);
+    // relaxed: same as above — publication is serialized by `mu`.
     const std::vector<int32_t> *canonical =
         hopPub[canonical_slot].load(std::memory_order_relaxed);
     if (!canonical) {
@@ -263,8 +266,9 @@ OracleStore::ensureCostTable(int pe, uint64_t &oracle_builds,
                              uint64_t &context_misses,
                              uint64_t &context_hits)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    support::LockGuard lock(mu);
     const size_t slot = static_cast<size_t>(pe);
+    // relaxed: costPub stores are serialized by `mu`, which we hold.
     if (const auto *t = costPub[slot].load(std::memory_order_relaxed)) {
         ++context_hits;
         return *t;
@@ -336,8 +340,9 @@ OracleStore::buildCosts(std::vector<double> &tab, int pe)
 void
 OracleStore::seedCanonicalHops(int pe, std::vector<int32_t> table)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    support::LockGuard lock(mu);
     const size_t slot = slotOf(0, pe);
+    // relaxed: publication is serialized by `mu`, which we hold.
     if (hopPub[slot].load(std::memory_order_relaxed))
         return;
     hopStorage.push_back(std::move(table));
@@ -347,8 +352,9 @@ OracleStore::seedCanonicalHops(int pe, std::vector<int32_t> table)
 void
 OracleStore::seedCosts(int pe, std::vector<double> table)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    support::LockGuard lock(mu);
     const size_t slot = static_cast<size_t>(pe);
+    // relaxed: publication is serialized by `mu`, which we hold.
     if (costPub[slot].load(std::memory_order_relaxed))
         return;
     costStorage.push_back(std::move(table));
@@ -358,7 +364,7 @@ OracleStore::seedCosts(int pe, std::vector<double> table)
 size_t
 OracleStore::capacityBytes() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    support::LockGuard lock(mu);
     size_t total = base.capacity() * sizeof(double) +
                    hopPub.size() *
                        sizeof(std::atomic<const std::vector<int32_t> *>) +
@@ -411,7 +417,7 @@ ArchContext::~ArchContext()
 std::shared_ptr<const Mrrg>
 ArchContext::mrrgFor(int ii, bool *hit)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    support::LockGuard lock(mu);
     auto it = mrrgs.find(ii);
     if (it != mrrgs.end()) {
         if (hit)
@@ -429,7 +435,7 @@ std::shared_ptr<OracleStore>
 ArchContext::oracleStoreFor(const std::shared_ptr<const Mrrg> &mrrg,
                             double fu_cost, double reg_cost, bool *hit)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    support::LockGuard lock(mu);
     const StoreKey key{mrrg->uid(), fu_cost, reg_cost};
     auto it = stores.find(key);
     if (it != stores.end()) {
@@ -476,7 +482,7 @@ ArchContext::seedFromWarm(OracleStore &store)
 std::shared_ptr<const map::RoutabilityModel>
 ArchContext::routabilityModel() const
 {
-    const std::lock_guard<std::mutex> lock(mu);
+    const support::LockGuard lock(mu);
     return routability;
 }
 
@@ -484,7 +490,7 @@ void
 ArchContext::setRoutabilityModel(
     std::shared_ptr<const map::RoutabilityModel> model)
 {
-    const std::lock_guard<std::mutex> lock(mu);
+    const support::LockGuard lock(mu);
     routability = std::move(model);
     routabilityAttempted = true;
 }
@@ -492,7 +498,7 @@ ArchContext::setRoutabilityModel(
 bool
 ArchContext::claimRoutabilityLoad()
 {
-    const std::lock_guard<std::mutex> lock(mu);
+    const support::LockGuard lock(mu);
     if (routabilityAttempted)
         return false;
     routabilityAttempted = true;
@@ -527,7 +533,7 @@ ArchContext::save(const std::string &path) const
     // Bindings are keyed (ii, fuCost, regCost); first writer wins.
     std::vector<WarmBinding> bindings;
     {
-        std::lock_guard<std::mutex> lock(mu);
+        support::LockGuard lock(mu);
         auto seen = [&bindings](int ii, double fu, double reg) {
             for (const WarmBinding &b : bindings)
                 if (b.ii == ii && b.fu == fu && b.reg == reg)
@@ -705,7 +711,7 @@ ArchContext::load(const std::string &path)
     if (!r.ok || r.pos != body.size())
         return false;
 
-    std::lock_guard<std::mutex> lock(mu);
+    support::LockGuard lock(mu);
     warm = std::move(parsed);
     return true;
 }

@@ -59,12 +59,12 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "arch/mrrg.hh"
+#include "support/thread_annotations.hh"
 
 namespace lisa::map {
 struct RoutabilityModel;
@@ -127,15 +127,17 @@ class OracleStore
     const std::vector<int32_t> &ensureHopTable(int layer, int pe,
                                                uint64_t &oracle_builds,
                                                uint64_t &context_misses,
-                                               uint64_t &context_hits);
+                                               uint64_t &context_hits)
+        LISA_EXCLUDES(mu);
     const std::vector<double> &ensureCostTable(int pe,
                                                uint64_t &oracle_builds,
                                                uint64_t &context_misses,
-                                               uint64_t &context_hits);
+                                               uint64_t &context_hits)
+        LISA_EXCLUDES(mu);
     /** @} */
 
     /** Heap bytes held by every published table (diagnostics). */
-    size_t capacityBytes() const;
+    size_t capacityBytes() const LISA_EXCLUDES(mu);
 
   private:
     friend class ArchContext;
@@ -148,11 +150,13 @@ class OracleStore
                static_cast<size_t>(pe);
     }
 
-    void buildCanonicalHops(std::vector<int32_t> &tab, int pe);
-    void buildCosts(std::vector<double> &tab, int pe);
+    void buildCanonicalHops(std::vector<int32_t> &tab, int pe)
+        LISA_REQUIRES(mu);
+    void buildCosts(std::vector<double> &tab, int pe) LISA_REQUIRES(mu);
     /** Seed the canonical layer-0 slot for @p pe (warm start / tests). */
-    void seedCanonicalHops(int pe, std::vector<int32_t> table);
-    void seedCosts(int pe, std::vector<double> table);
+    void seedCanonicalHops(int pe, std::vector<int32_t> table)
+        LISA_EXCLUDES(mu);
+    void seedCosts(int pe, std::vector<double> table) LISA_EXCLUDES(mu);
 
     std::shared_ptr<const Mrrg> graph;
     double fu;
@@ -160,16 +164,21 @@ class OracleStore
 
     std::vector<double> base; ///< per-resource static entry cost
 
-    mutable std::mutex mu; ///< guards storage and publication
-    /** Published hop tables, slot = layer * numPes + pe. */
+    mutable support::Mutex mu; ///< guards storage and publication
+    /** Published hop tables, slot = layer * numPes + pe. Writes are
+     *  release stores issued under `mu`; reads are lock-free acquire
+     *  loads, which is why these slots carry no GUARDED_BY — the
+     *  acquire/release pair itself is the publication contract. */
     std::vector<std::atomic<const std::vector<int32_t> *>> hopPub;
     /** Published cost tables (spatial graphs, II == 1), slot = pe. */
     std::vector<std::atomic<const std::vector<double> *>> costPub;
-    /** Stable backing storage for published tables (under mu). */
-    std::deque<std::vector<int32_t>> hopStorage;
-    std::deque<std::vector<double>> costStorage;
-    std::vector<int> bfsQueue; ///< reverse-BFS scratch (under mu)
-    std::vector<std::pair<double, int>> dijHeap; ///< Dijkstra scratch
+    /** Stable backing storage for published tables. */
+    std::deque<std::vector<int32_t>> hopStorage LISA_GUARDED_BY(mu);
+    std::deque<std::vector<double>> costStorage LISA_GUARDED_BY(mu);
+    /** Reverse-BFS scratch. */
+    std::vector<int> bfsQueue LISA_GUARDED_BY(mu);
+    /** Dijkstra scratch. */
+    std::vector<std::pair<double, int>> dijHeap LISA_GUARDED_BY(mu);
 };
 
 /**
@@ -206,7 +215,8 @@ class ArchContext
      * The shared MRRG for @p ii, built on first request and cached.
      * @p hit (optional) reports whether the graph was already cached.
      */
-    std::shared_ptr<const Mrrg> mrrgFor(int ii, bool *hit = nullptr);
+    std::shared_ptr<const Mrrg> mrrgFor(int ii, bool *hit = nullptr)
+        LISA_EXCLUDES(mu);
 
     /**
      * The shared OracleStore for (@p mrrg, @p fu_cost, @p reg_cost),
@@ -215,7 +225,8 @@ class ArchContext
      */
     std::shared_ptr<OracleStore>
     oracleStoreFor(const std::shared_ptr<const Mrrg> &mrrg, double fu_cost,
-                   double reg_cost, bool *hit = nullptr);
+                   double reg_cost, bool *hit = nullptr)
+        LISA_EXCLUDES(mu);
 
     /** Memoized per-op capable-PE table (warmed at construction). */
     const std::vector<int> &
@@ -227,8 +238,8 @@ class ArchContext
     /** @{ Warm-start (de)serialization. save() writes atomically
      *  (tmp + rename); load() validates magic, version, fingerprint and
      *  checksum and leaves the context unchanged on any mismatch. */
-    bool save(const std::string &path) const;
-    bool load(const std::string &path);
+    bool save(const std::string &path) const LISA_EXCLUDES(mu);
+    bool load(const std::string &path) LISA_EXCLUDES(mu);
     /** @} */
 
     /** @{ Context-held routability admission model (see
@@ -237,10 +248,12 @@ class ArchContext
      *  claim-once — the first claimRoutabilityLoad() returns true and
      *  its caller performs the single disk-load attempt; setting a model
      *  directly (tests, trainers) also consumes the claim. */
-    std::shared_ptr<const map::RoutabilityModel> routabilityModel() const;
+    std::shared_ptr<const map::RoutabilityModel> routabilityModel() const
+        LISA_EXCLUDES(mu);
     void
-    setRoutabilityModel(std::shared_ptr<const map::RoutabilityModel> model);
-    bool claimRoutabilityLoad();
+    setRoutabilityModel(std::shared_ptr<const map::RoutabilityModel> model)
+        LISA_EXCLUDES(mu);
+    bool claimRoutabilityLoad() LISA_EXCLUDES(mu);
     /** @} */
 
     /** Path of this accelerator's cache file ("" without a cache dir). */
@@ -277,7 +290,7 @@ class ArchContext
         }
     };
 
-    void seedFromWarm(OracleStore &store);
+    void seedFromWarm(OracleStore &store) LISA_REQUIRES(mu);
 
     const Accelerator *arch;
     std::string dir;
@@ -288,13 +301,16 @@ class ArchContext
     std::string archName;
     int archPes;
 
-    mutable std::mutex mu;
-    std::map<int, std::shared_ptr<const Mrrg>> mrrgs;
-    std::map<StoreKey, std::shared_ptr<OracleStore>> stores;
-    std::vector<WarmBinding> warm; ///< loaded, not yet consumed
-    /** Routability admission model slot (under mu); see above. */
-    std::shared_ptr<const map::RoutabilityModel> routability;
-    bool routabilityAttempted = false;
+    mutable support::Mutex mu;
+    std::map<int, std::shared_ptr<const Mrrg>> mrrgs LISA_GUARDED_BY(mu);
+    std::map<StoreKey, std::shared_ptr<OracleStore>> stores
+        LISA_GUARDED_BY(mu);
+    /** Loaded warm-start payload, not yet consumed. */
+    std::vector<WarmBinding> warm LISA_GUARDED_BY(mu);
+    /** Routability admission model slot; see above. */
+    std::shared_ptr<const map::RoutabilityModel> routability
+        LISA_GUARDED_BY(mu);
+    bool routabilityAttempted LISA_GUARDED_BY(mu) = false;
 };
 
 } // namespace lisa::arch

@@ -13,6 +13,8 @@ uint64_t
 nextUid()
 {
     static std::atomic<uint64_t> counter{0};
+    // relaxed: uniqueness is the only requirement; uids are never used
+    // to order cross-thread memory.
     return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 

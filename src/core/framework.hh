@@ -65,7 +65,21 @@ struct PortfolioConfig
     bool runEvo = true;
 };
 
-/** Portable compiler instance for one accelerator. */
+/**
+ * Portable compiler instance for one accelerator.
+ *
+ * Concurrency contract: a LisaFramework is *externally synchronized* —
+ * prepare() mutates the model cache and even the const entry points
+ * (compile, predictLabels) draw from the mutable `rng` member, so two
+ * threads may not share one instance without a lock. What *is* safe to
+ * share is everything the framework hands out: the ArchContext is
+ * internally synchronized (see arch/arch_context.hh), the trained
+ * LabelModels are immutable after prepare(), and compile()'s inner
+ * parallelism (attempt streams, portfolio members) runs on private
+ * per-stream state by construction. The bench harness follows this rule
+ * by giving each worker its own framework while sharing one ArchContext
+ * per accelerator.
+ */
 class LisaFramework
 {
   public:

@@ -27,7 +27,17 @@ std::vector<dfg::NodeId>
 LisaMapper::selectUnmapSet(const map::Mapping &mapping, Rng &rng) const
 {
     const auto &dfg = mapping.dfg();
+    // `chosen` answers membership only; `order` preserves insertion order
+    // so the returned unmap set never depends on hash-bucket layout
+    // (unordered iteration order is banned by tools/check_determinism.py:
+    // it varies across standard libraries and would silently break
+    // (seed, threads) reproducibility of the movement loop).
     std::unordered_set<dfg::NodeId> chosen;
+    std::vector<dfg::NodeId> order;
+    auto take = [&chosen, &order](dfg::NodeId v) {
+        if (chosen.insert(v).second)
+            order.push_back(v);
+    };
 
     // Nodes touching failures: endpoints of un-routed edges and producers
     // involved in overused resources.
@@ -49,15 +59,15 @@ LisaMapper::selectUnmapSet(const map::Mapping &mapping, Rng &rng) const
     for (dfg::NodeId v : conflicts) {
         if (static_cast<int>(chosen.size()) >= cfg.maxConflictUnmaps)
             break;
-        chosen.insert(v);
+        take(v);
     }
 
     for (int i = 0; i < cfg.extraUnmaps; ++i)
-        chosen.insert(static_cast<dfg::NodeId>(rng.index(dfg.numNodes())));
-    if (chosen.empty())
-        chosen.insert(static_cast<dfg::NodeId>(rng.index(dfg.numNodes())));
+        take(static_cast<dfg::NodeId>(rng.index(dfg.numNodes())));
+    if (order.empty())
+        take(static_cast<dfg::NodeId>(rng.index(dfg.numNodes())));
 
-    return {chosen.begin(), chosen.end()};
+    return order;
 }
 
 bool

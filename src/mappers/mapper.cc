@@ -82,6 +82,8 @@ runAttemptPortfolio(
 
     ThreadPool::global().parallelFor(
         static_cast<size_t>(streams), [&](size_t k) {
+            // relaxed: advisory first-success latch; a stale read
+            // only lets a doomed stream run one more attempt.
             if (firstSuccess.load(std::memory_order_relaxed) ||
                 ctx.cancelled())
                 return;
@@ -95,6 +97,9 @@ runAttemptPortfolio(
             auto m = attempt(sub);
             if (m) {
                 results[k] = std::move(m);
+                // relaxed: results[k] is read only after parallelFor's
+                // join, which is the synchronization point; the flag
+                // itself carries no payload.
                 firstSuccess.store(true, std::memory_order_relaxed);
             }
         });

@@ -40,6 +40,18 @@ namespace lisa::map {
  * II with a *better* rank than the incumbent holder keeps running, which
  * is what makes the final winner timing-independent given sufficient
  * budgets. See mapping/portfolio.hh for the enclosing race driver.
+ *
+ * Ordering contract of the packed word. `best` is a single 64-bit cell
+ * holding (ii << 32 | rank); the pair is compared as one integer, so a
+ * reader can never observe a torn (ii, rank). offer() publishes with a
+ * release CAS and the accessors read with acquire loads — not because the
+ * word itself needs it (it is self-contained), but so the *mapping* the
+ * offering member has already produced happens-before any reader that
+ * observes its (ii, rank): a cancelled member may inspect the winner's
+ * result after the join without further synchronization. The CAS-min loop
+ * uses relaxed on its failure path because a failed CAS publishes
+ * nothing — it only reloads the current packed value for the next
+ * monotonicity check.
  */
 class IiIncumbent
 {
@@ -49,7 +61,11 @@ class IiIncumbent
     offer(int ii, int rank)
     {
         uint64_t candidate = pack(ii, rank);
+        // relaxed: pre-read of the CAS loop; the CAS below re-validates.
         uint64_t cur = best.load(std::memory_order_relaxed);
+        // relaxed: failure order only — a failed CAS publishes nothing,
+        // it just refreshes `cur` for the monotonic < check; success is
+        // release.
         while (candidate < cur &&
                !best.compare_exchange_weak(cur, candidate,
                                            std::memory_order_release,
@@ -57,7 +73,9 @@ class IiIncumbent
         }
     }
 
-    /** True when an attempt at (@p ii, @p rank) can no longer win. */
+    /** True when an attempt at (@p ii, @p rank) can no longer win.
+     *  Acquire pairs with offer()'s release: observing a dominating pair
+     *  implies the dominating member's success is fully published. */
     bool
     dominates(int ii, int rank) const
     {
@@ -138,6 +156,9 @@ struct MapContext
     bool
     cancelled() const
     {
+        // relaxed: stop flags are advisory latches polled in the hot
+        // loop — a late observation only delays the abort by one check,
+        // and no data is published through the flags themselves.
         return (stop && stop->load(std::memory_order_relaxed)) ||
                (portfolioStop &&
                 portfolioStop->load(std::memory_order_relaxed)) ||
@@ -147,6 +168,8 @@ struct MapContext
     void
     countAttempt() const
     {
+        // relaxed: statistics counter; only the final summed value is
+        // read, after the portfolio join synchronizes.
         if (attempts)
             attempts->fetch_add(1, std::memory_order_relaxed);
     }

@@ -10,6 +10,14 @@
  * addition, so merges of disjoint streams are associative and
  * commutative — the merged totals do not depend on the merge order.
  *
+ * Concurrency contract: a MapperStats is single-owner — no two threads
+ * ever write one concurrently, which is why the struct carries no mutex
+ * or atomics and needs no capability annotations. Every merge happens
+ * strictly after the pool join (or batch wait) that retires the stream
+ * being merged, so the join's synchronization is what makes the
+ * stream's counters visible to the merging thread (DESIGN.md
+ * section 13).
+ *
  * Enabled unconditionally: every counter is a plain per-thread increment,
  * and the wall-clock phases cost two steady_clock reads per phase entry,
  * which is noise next to a single routed edge.

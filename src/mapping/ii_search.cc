@@ -97,6 +97,8 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg, arch::ArchContext &context,
         result.mii = 1;
         // Honor external cancellation before launching the one attempt,
         // exactly like the temporal loop does at the top of each II.
+        // relaxed: advisory cancellation latch, no data published
+        // through it (see MapContext::cancelled's contract).
         if (options.stop &&
             options.stop->load(std::memory_order_relaxed)) {
             result.seconds = total.seconds();
@@ -163,6 +165,8 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg, arch::ArchContext &context,
     result.mii = mii;
 
     for (int ii = mii; ii <= accel.maxIi(); ++ii) {
+        // relaxed: advisory cancellation latch (same contract as the
+        // spatial branch above).
         if (options.stop &&
             options.stop->load(std::memory_order_relaxed)) {
             break;

@@ -28,6 +28,15 @@
  * Per-member seconds and cancellation points remain timing-dependent —
  * only the *answer* is reproducible, which is what tests pin down via the
  * verifier-text serialization of the winning mapping.
+ *
+ * Concurrency contract: the only mutable state shared between racing
+ * members is the IiIncumbent (one packed 64-bit atomic; its full
+ * acquire/release ordering contract is documented on the class in
+ * mappers/mapper.hh) and the internally synchronized ArchContext.
+ * Everything else a member touches — its sweep state, Rng stream,
+ * MapperStats sink — is private to its task; per-member results are
+ * read only after the batch join, so no further synchronization is
+ * needed (DESIGN.md section 13).
  */
 
 #ifndef LISA_MAPPING_PORTFOLIO_HH

@@ -12,7 +12,6 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <system_error>
 #include <utility>
 
@@ -21,12 +20,19 @@
 #include "nn/serialize.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
+#include "support/thread_annotations.hh"
 
 namespace lisa::map {
 
 namespace {
 
 constexpr int kModeUnresolved = -1;
+/** Process-wide mode cell. Ordering contract: the cell carries a plain
+ *  enum with no dependent data, so every access is relaxed; the only
+ *  invariant is write-atomicity plus the compare_exchange in
+ *  routabilityMode() that keeps a concurrent setRoutabilityMode() from
+ *  being overwritten by the lazy env resolve (PR 8's lost-update fix,
+ *  pinned by RoutabilityModeRace.ExplicitOverrideBeatsEnvResolve). */
 std::atomic<int> g_mode{kModeUnresolved};
 
 int
@@ -52,11 +58,11 @@ parseModeEnv()
 /** Serialized sample sink shared by every collecting workspace. */
 struct Collector
 {
-    std::mutex mu;
-    std::string path;
-    std::ofstream out;
-    bool headerWritten = false;
-    uint64_t successTick = 0;
+    support::Mutex mu;
+    std::string path LISA_GUARDED_BY(mu);
+    std::ofstream out LISA_GUARDED_BY(mu);
+    bool headerWritten LISA_GUARDED_BY(mu) = false;
+    uint64_t successTick LISA_GUARDED_BY(mu) = 0;
 };
 
 Collector &
@@ -77,6 +83,8 @@ modelPath(const std::string &dir, const std::string &accel_name)
 RoutabilityMode
 routabilityMode()
 {
+    // relaxed: the mode is a standalone enum cell — no other memory is
+    // published through it, so no acquire/release pairing is needed.
     int m = g_mode.load(std::memory_order_relaxed);
     if (m == kModeUnresolved) {
         // First resolver publishes the env value, but a concurrent
@@ -85,6 +93,7 @@ routabilityMode()
         // and the parse (lost update). On CAS failure `m` reloads the
         // setter's value.
         const int parsed = parseModeEnv();
+        // relaxed: see above — atomicity of the CAS is the whole contract.
         if (g_mode.compare_exchange_strong(m, parsed,
                                            std::memory_order_relaxed))
             m = parsed;
@@ -95,14 +104,27 @@ routabilityMode()
 void
 setRoutabilityMode(RoutabilityMode mode)
 {
+    // relaxed: standalone cell, atomicity only (see g_mode contract).
     g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
 }
+
+namespace detail {
+
+void
+resetRoutabilityModeForTest()
+{
+    // relaxed: test-only hook re-arming the lazy env resolve so the
+    // resolve-vs-override race stays exercisable under TSan.
+    g_mode.store(kModeUnresolved, std::memory_order_relaxed);
+}
+
+} // namespace detail
 
 void
 setRoutabilityCollection(std::string path)
 {
     Collector &c = collector();
-    const std::lock_guard<std::mutex> lock(c.mu);
+    const support::LockGuard lock(c.mu);
     if (c.out.is_open())
         c.out.close();
     c.path = std::move(path);
@@ -114,7 +136,7 @@ bool
 routabilityCollecting()
 {
     Collector &c = collector();
-    const std::lock_guard<std::mutex> lock(c.mu);
+    const support::LockGuard lock(c.mu);
     return !c.path.empty();
 }
 
@@ -136,7 +158,7 @@ void
 RoutabilityFilter::logSample(const double *f, bool routed) const
 {
     Collector &c = collector();
-    const std::lock_guard<std::mutex> lock(c.mu);
+    const support::LockGuard lock(c.mu);
     if (c.path.empty())
         return;
     // Failures are kept unconditionally; successes 1-in-4 to rebalance
@@ -166,6 +188,8 @@ RoutabilityFilter::logSample(const double *f, bool routed) const
     c.out << '\n';
 }
 
+// lint:cold-begin(model flatten/save/load: runs once per accelerator at
+// startup or from the offline trainer, never on the routing path)
 bool
 flattenRoutabilityMlp(const nn::Mlp &mlp, RoutabilityModel &out)
 {
@@ -303,5 +327,6 @@ loadRoutabilityModel(arch::ArchContext &ctx, const std::string &dir)
     ctx.setRoutabilityModel(std::move(model));
     return true;
 }
+// lint:cold-end
 
 } // namespace lisa::map

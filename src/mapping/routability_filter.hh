@@ -301,6 +301,14 @@ RoutabilityMode routabilityMode();
 void setRoutabilityMode(RoutabilityMode mode);
 /** @} */
 
+namespace detail {
+/** Test-only: forget any resolved/overridden mode so the next
+ *  routabilityMode() call re-runs the lazy env resolve. Exists for the
+ *  TSan regression racing the resolve against setRoutabilityMode(); never
+ *  call while mapping is in flight. */
+void resetRoutabilityModeForTest();
+} // namespace detail
+
 /** @{ Collection sink for --collect-routability ("" disables). The file
  *  is truncated on first write and starts with a header carrying the
  *  accelerator name, fabric fingerprint and feature version. Failures are

@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(size_t worker_count)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        support::LockGuard lock(mutex);
         stopping = true;
     }
     taskReady.notify_all();
@@ -29,9 +29,12 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex);
-            taskReady.wait(lock,
-                           [this]() { return stopping || !tasks.empty(); });
+            support::UniqueLock lock(mutex);
+            // Plain wait loop (not the predicate overload) so the
+            // capability analysis sees `stopping`/`tasks` read with the
+            // pool mutex held; wait() re-acquires before returning.
+            while (!stopping && tasks.empty())
+                taskReady.wait(lock);
             if (stopping && tasks.empty())
                 return;
             task = std::move(tasks.front());
@@ -58,21 +61,23 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
     {
         std::atomic<size_t> next{0};
         std::atomic<size_t> done{0};
-        std::mutex doneMutex;
-        std::condition_variable allDone;
+        support::Mutex doneMutex;
+        std::condition_variable_any allDone;
     };
     auto batch = std::make_shared<Batch>();
     const size_t total = n;
 
     auto runner = [batch, total, &body]() {
         for (;;) {
+            // relaxed: pure index claim — only uniqueness matters, and
+            // fetch_add is always atomic; body(i) data is thread-local.
             size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
             if (i >= total)
                 break;
             body(i);
             if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
                 total) {
-                std::lock_guard<std::mutex> lock(batch->doneMutex);
+                support::LockGuard lock(batch->doneMutex);
                 batch->allDone.notify_all();
             }
         }
@@ -80,7 +85,7 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
 
     const size_t helpers = std::min(workers.size(), n - 1);
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        support::LockGuard lock(mutex);
         for (size_t i = 0; i < helpers; ++i)
             tasks.emplace_back(runner);
     }
@@ -92,7 +97,7 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
     // only borrow `body` while the batch is alive, and the batch cannot
     // outlive this frame because we block until done == total.
     runner();
-    std::unique_lock<std::mutex> lock(batch->doneMutex);
+    support::UniqueLock lock(batch->doneMutex);
     batch->allDone.wait(lock, [&]() {
         return batch->done.load(std::memory_order_acquire) == total;
     });
@@ -100,9 +105,9 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
 
 namespace {
 
-std::mutex g_poolMutex;
-std::unique_ptr<ThreadPool> g_pool;
-int g_threads = 0; // 0 = not yet resolved
+support::Mutex g_poolMutex;
+std::unique_ptr<ThreadPool> g_pool LISA_GUARDED_BY(g_poolMutex);
+int g_threads LISA_GUARDED_BY(g_poolMutex) = 0; // 0 = not yet resolved
 
 int
 defaultThreads()
@@ -121,7 +126,7 @@ defaultThreads()
 ThreadPool &
 ThreadPool::global()
 {
-    std::lock_guard<std::mutex> lock(g_poolMutex);
+    support::LockGuard lock(g_poolMutex);
     if (g_threads == 0)
         g_threads = defaultThreads();
     if (!g_pool)
@@ -133,7 +138,7 @@ ThreadPool::global()
 void
 ThreadPool::setGlobalThreads(int threads)
 {
-    std::lock_guard<std::mutex> lock(g_poolMutex);
+    support::LockGuard lock(g_poolMutex);
     threads = std::max(1, threads);
     if (threads == g_threads && g_pool)
         return;
@@ -144,7 +149,7 @@ ThreadPool::setGlobalThreads(int threads)
 int
 ThreadPool::globalThreads()
 {
-    std::lock_guard<std::mutex> lock(g_poolMutex);
+    support::LockGuard lock(g_poolMutex);
     if (g_threads == 0)
         g_threads = defaultThreads();
     return g_threads;

@@ -32,10 +32,11 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "support/thread_annotations.hh"
 
 namespace lisa {
 
@@ -67,7 +68,7 @@ class ThreadPool
             return out;
         }
         {
-            std::lock_guard<std::mutex> lock(mutex);
+            support::LockGuard lock(mutex);
             tasks.emplace_back(std::move(wrapped));
         }
         taskReady.notify_one();
@@ -99,11 +100,14 @@ class ThreadPool
   private:
     void workerLoop();
 
+    /** Immutable after construction (joined in the destructor). */
     std::vector<std::thread> workers;
-    std::deque<std::function<void()>> tasks;
-    std::mutex mutex;
-    std::condition_variable taskReady;
-    bool stopping = false;
+    support::Mutex mutex;
+    /** Pending task queue; workers pop under the pool mutex. */
+    std::deque<std::function<void()>> tasks LISA_GUARDED_BY(mutex);
+    /** Signalled on submit and at shutdown; waited on under `mutex`. */
+    std::condition_variable_any taskReady;
+    bool stopping LISA_GUARDED_BY(mutex) = false;
 };
 
 } // namespace lisa

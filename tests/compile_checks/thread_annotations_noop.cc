@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Portability control for src/support/thread_annotations.hh, run at
+ * configure time on every compiler (see tests/CMakeLists.txt).
+ *
+ * Two claims are pinned:
+ *
+ *  1. On compilers without Clang's capability analysis, every annotation
+ *     macro expands to NOTHING — not to a harmless attribute, to zero
+ *     tokens — so annotated headers parse identically everywhere and the
+ *     macros can sit in positions (after a class name, before a member
+ *     initializer) where a stray token would be a syntax error. Checked
+ *     with the stringify trick: a two-level # expansion of an empty macro
+ *     is the empty string literal, whose sizeof is exactly 1.
+ *
+ *  2. Correctly-locked code using the annotated support::Mutex wrappers
+ *     compiles on every compiler. This is the positive control for the
+ *     companion negative check (thread_safety_violation.cc): if this file
+ *     did not compile, that check failing to compile would prove nothing.
+ */
+
+#include "support/thread_annotations.hh"
+
+#if !defined(__clang__)
+
+#define LISA_NOOP_STR(...) #__VA_ARGS__
+#define LISA_NOOP_STR2(...) LISA_NOOP_STR(__VA_ARGS__)
+
+// sizeof("") == 1: each macro must vanish entirely on non-Clang.
+static_assert(sizeof(LISA_NOOP_STR2(LISA_CAPABILITY("mutex"))) == 1,
+              "LISA_CAPABILITY must expand to nothing without Clang");
+static_assert(sizeof(LISA_NOOP_STR2(LISA_SCOPED_CAPABILITY)) == 1,
+              "LISA_SCOPED_CAPABILITY must expand to nothing without Clang");
+static_assert(sizeof(LISA_NOOP_STR2(LISA_GUARDED_BY(mu))) == 1,
+              "LISA_GUARDED_BY must expand to nothing without Clang");
+static_assert(sizeof(LISA_NOOP_STR2(LISA_PT_GUARDED_BY(mu))) == 1,
+              "LISA_PT_GUARDED_BY must expand to nothing without Clang");
+static_assert(sizeof(LISA_NOOP_STR2(LISA_REQUIRES(mu))) == 1,
+              "LISA_REQUIRES must expand to nothing without Clang");
+static_assert(sizeof(LISA_NOOP_STR2(LISA_ACQUIRE())) == 1,
+              "LISA_ACQUIRE must expand to nothing without Clang");
+static_assert(sizeof(LISA_NOOP_STR2(LISA_RELEASE())) == 1,
+              "LISA_RELEASE must expand to nothing without Clang");
+static_assert(sizeof(LISA_NOOP_STR2(LISA_TRY_ACQUIRE(true))) == 1,
+              "LISA_TRY_ACQUIRE must expand to nothing without Clang");
+static_assert(sizeof(LISA_NOOP_STR2(LISA_EXCLUDES(mu))) == 1,
+              "LISA_EXCLUDES must expand to nothing without Clang");
+static_assert(sizeof(LISA_NOOP_STR2(LISA_RETURN_CAPABILITY(mu))) == 1,
+              "LISA_RETURN_CAPABILITY must expand to nothing without Clang");
+static_assert(sizeof(LISA_NOOP_STR2(LISA_NO_THREAD_SAFETY_ANALYSIS)) == 1,
+              "LISA_NO_THREAD_SAFETY_ANALYSIS must expand to nothing "
+              "without Clang");
+
+#endif // !defined(__clang__)
+
+namespace {
+
+/** Correctly-locked guarded state: the shape every annotated subsystem
+ *  in src/ follows. Must compile under both GCC (macros vanish) and
+ *  Clang with -Wthread-safety -Werror=thread-safety (analysis passes). */
+class Counter
+{
+  public:
+    void
+    bump()
+    {
+        lisa::support::LockGuard lock(mu);
+        ++value;
+    }
+
+    int
+    read() LISA_EXCLUDES(mu)
+    {
+        lisa::support::LockGuard lock(mu);
+        return value;
+    }
+
+    void
+    bumpLocked() LISA_REQUIRES(mu)
+    {
+        ++value;
+    }
+
+    void
+    bumpViaRequires()
+    {
+        lisa::support::LockGuard lock(mu);
+        bumpLocked();
+    }
+
+  private:
+    lisa::support::Mutex mu;
+    int value LISA_GUARDED_BY(mu) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.bump();
+    c.bumpViaRequires();
+    return c.read() == 2 ? 0 : 1;
+}

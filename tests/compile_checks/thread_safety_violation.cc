@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Negative control for the concurrency-contract gate (see
+ * tests/CMakeLists.txt): under Clang with
+ * `-Wthread-safety -Werror=thread-safety` this file must FAIL to
+ * compile, because it reads and writes a LISA_GUARDED_BY member without
+ * holding its mutex. If it ever compiles under those flags, the
+ * capability analysis has been silently disabled — macros decayed to
+ * no-ops on Clang, flags dropped from the toolchain — and every
+ * annotation in src/ has stopped being checked.
+ *
+ * Only meaningful under Clang; the configure logic never runs it
+ * elsewhere (on GCC the annotations expand to nothing and the file
+ * compiles, which proves nothing).
+ */
+
+#include "support/thread_annotations.hh"
+
+namespace {
+
+class Racy
+{
+  public:
+    // No lock taken: both the write and the read below violate the
+    // GUARDED_BY contract and must be -Werror=thread-safety errors.
+    int
+    bumpWithoutLock()
+    {
+        ++value;
+        return value;
+    }
+
+  private:
+    lisa::support::Mutex mu;
+    int value LISA_GUARDED_BY(mu) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Racy r;
+    return r.bumpWithoutLock();
+}

@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "arch/arch_context.hh"
 #include "arch/cgra.hh"
@@ -380,6 +382,42 @@ TEST(RoutabilityFilter, CollectModeWritesLabeledSamples)
     }
     EXPECT_GT(lines, 0);
     std::filesystem::remove(path);
+}
+
+/**
+ * TSan regression pinning the PR 8 mode-knob fix: routabilityMode()'s
+ * lazy LISA_ROUTE_FILTER resolve publishes with a compare-exchange from
+ * the unresolved sentinel, so a concurrent setRoutabilityMode() — an
+ * explicit override from a test or the bench collect flag — can never be
+ * overwritten by the env default losing the race. Runs in the CI tsan
+ * job (the RoutabilityModeRace filter entry), where the pre-fix plain
+ * store is both a reported race and a visible lost update.
+ */
+TEST(RoutabilityModeRace, ExplicitOverrideBeatsEnvResolve)
+{
+    for (int iter = 0; iter < 200; ++iter) {
+        map::detail::resetRoutabilityModeForTest();
+        std::atomic<bool> go{false};
+        std::thread resolver([&go] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            (void)map::routabilityMode();
+        });
+        std::thread setter([&go] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            map::setRoutabilityMode(map::RoutabilityMode::Strict);
+        });
+        go.store(true, std::memory_order_release);
+        resolver.join();
+        setter.join();
+        EXPECT_EQ(map::routabilityMode(), map::RoutabilityMode::Strict)
+            << "lazy env resolve overwrote an explicit override "
+            << "(iteration " << iter << ")";
+    }
+    // Leave the knob as the process started: unresolved, so the next
+    // consumer re-runs the env resolve instead of inheriting Strict.
+    map::detail::resetRoutabilityModeForTest();
 }
 
 } // namespace

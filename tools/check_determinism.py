@@ -1,0 +1,428 @@
+#!/usr/bin/env python3
+"""Determinism lint for the LISA search stack.
+
+The paper's headline property — (seed, threads)-reproducible search —
+dies quietly: one std::random_device, one hash-order iteration feeding
+placement order, one wall-clock read steering a search decision, and two
+runs of the same seed diverge with no test failing. This lint walks the
+search stack (src/mapping, src/mappers, src/core, plus the shared
+src/arch and src/support layers they sit on) and fails on the patterns
+that can silently break reproducibility:
+
+  random-device   std::random_device — nondeterministic entropy source.
+                  All randomness must flow from an explicitly seeded
+                  support::Rng (or a deterministic split of one).
+  libc-rand       rand()/srand() — hidden global generator state, not
+                  seed-threaded, not splittable, not reproducible across
+                  platforms.
+  wall-clock      direct *_clock::now() / time() / gettimeofday reads.
+                  Budget accounting must go through support::Stopwatch
+                  (whose implementation carries the one allowed marker);
+                  any other clock read is a covert input to the search.
+  unordered-iter  iteration over a std::unordered_{map,set} (range-for
+                  or begin()/end()): bucket order varies across standard
+                  libraries and hash seeds, so any iteration whose body
+                  feeds placement/routing/selection order is a silent
+                  portability break. Iterate a sorted/insertion-ordered
+                  mirror instead (see LisaMapper::selectUnmapSet).
+  relaxed-flag    std::memory_order_relaxed without a rationale. Every
+                  relaxed operation must carry a `relaxed:` comment on
+                  the same or a nearby preceding line stating why the
+                  weak ordering cannot reorder anything that matters
+                  (DESIGN.md section 13 holds the capability map).
+
+Escape hatch: a `lint:allow-nondet(<reason>)` comment on the same line
+or one of the two preceding lines suppresses any finding. Reserve it for
+code that is genuinely outside the reproducibility contract (e.g. the
+Stopwatch primitive itself); everything else should be rewritten.
+
+`--self-test` seeds every violation class into a throwaway fixture tree
+and asserts the scanner catches each one (and that the escape marker and
+`relaxed:` rationales suppress) — the lint's own regression suite,
+wired into ctest as DeterminismLint.SelfTest.
+
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# Directories scanned by default, relative to the repo root. The three
+# search-stack directories are the contract's core; arch and support are
+# included because the search stack's shared state (ArchContext, thread
+# pool, Rng, Stopwatch) lives there.
+DEFAULT_DIRS = [
+    "src/mapping",
+    "src/mappers",
+    "src/core",
+    "src/arch",
+    "src/support",
+]
+
+SOURCE_EXTENSIONS = (".cc", ".hh", ".cpp", ".hpp", ".h")
+
+ALLOW_MARKER = "lint:allow-nondet"
+RELAXED_RATIONALE = "relaxed:"
+# How many lines above a finding may carry the marker / rationale.
+ALLOW_LOOKBACK = 2
+RELAXED_LOOKBACK = 6
+
+RE_RANDOM_DEVICE = re.compile(r"\brandom_device\b")
+RE_LIBC_RAND = re.compile(r"(?<![\w.:>])s?rand\s*\(")
+RE_WALL_CLOCK = re.compile(
+    r"(?:system_clock|high_resolution_clock|steady_clock)\s*::\s*now"
+    r"|(?<![\w.:>])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\bclock\s*\(\s*\)"
+)
+RE_UNORDERED_DECL = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s*"
+    r"(?:&\s*)?(\w+)\s*(?:[;={(),]|$)"
+)
+RE_RELAXED = re.compile(r"\bmemory_order_relaxed\b")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure, so rules never fire on prose or quoted text."""
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line":
+            if c == "\n":
+                mode = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif mode in ("str", "chr"):
+            quote = '"' if mode == "str" else "'"
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                mode = "code"
+                out.append(" ")
+            elif c == "\n":  # unterminated (macro line continuation etc.)
+                mode = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def has_marker(raw_lines, lineno, marker, lookback):
+    """True when `marker` appears on raw line `lineno` (1-based) or up to
+    `lookback` lines above it."""
+    lo = max(1, lineno - lookback)
+    return any(
+        marker in raw_lines[k - 1] for k in range(lo, lineno + 1)
+    )
+
+
+class Finding:
+    def __init__(self, path, lineno, rule, message):
+        self.path = path
+        self.lineno = lineno
+        self.rule = rule
+        self.message = message
+
+    def render(self, root):
+        rel = os.path.relpath(self.path, root)
+        return f"{rel}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def unordered_iteration_findings(path, raw_lines, code_lines):
+    """Flag range-for / begin()/end() over identifiers declared in this
+    file as unordered containers."""
+    findings = []
+    names = set()
+    for line in code_lines:
+        for m in RE_UNORDERED_DECL.finditer(line):
+            names.add(m.group(1))
+    if not names:
+        return findings
+    alt = "|".join(sorted(re.escape(n) for n in names))
+    re_range_for = re.compile(
+        r"for\s*\([^;)]*?:\s*&?\s*(?:" + alt + r")\b"
+    )
+    re_begin_end = re.compile(
+        r"\b(?:" + alt + r")\s*\.\s*(?:c?r?begin|c?r?end)\s*\("
+    )
+    for idx, line in enumerate(code_lines, start=1):
+        hit = re_range_for.search(line) or re_begin_end.search(line)
+        if not hit:
+            continue
+        findings.append(Finding(
+            path, idx, "unordered-iter",
+            "iteration over an unordered container — bucket order is "
+            "not part of the (seed, threads) contract; iterate a "
+            "sorted or insertion-ordered mirror instead"))
+    return findings
+
+
+def scan_file(path):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"check_determinism: cannot read {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    raw_lines = text.split("\n")
+    code = strip_comments_and_strings(text)
+    code_lines = code.split("\n")
+
+    findings = []
+    simple_rules = [
+        ("random-device", RE_RANDOM_DEVICE,
+         "std::random_device is a nondeterministic entropy source; "
+         "derive streams from a seeded support::Rng"),
+        ("libc-rand", RE_LIBC_RAND,
+         "rand()/srand() use hidden global state; derive streams from "
+         "a seeded support::Rng"),
+        ("wall-clock", RE_WALL_CLOCK,
+         "direct clock read; route budget accounting through "
+         "support::Stopwatch so time never steers search decisions"),
+    ]
+    for idx, line in enumerate(code_lines, start=1):
+        for rule, regex, msg in simple_rules:
+            if regex.search(line):
+                findings.append(Finding(path, idx, rule, msg))
+        if RE_RELAXED.search(line):
+            if not has_marker(raw_lines, idx, RELAXED_RATIONALE,
+                              RELAXED_LOOKBACK):
+                findings.append(Finding(
+                    path, idx, "relaxed-flag",
+                    "memory_order_relaxed without a `relaxed:` "
+                    "rationale comment; state why the weak ordering "
+                    "cannot reorder anything that matters"))
+
+    findings.extend(
+        unordered_iteration_findings(path, raw_lines, code_lines))
+
+    # The escape marker suppresses any rule.
+    return [
+        f for f in findings
+        if not has_marker(raw_lines, f.lineno, ALLOW_MARKER,
+                          ALLOW_LOOKBACK)
+    ]
+
+
+def collect_files(root, dirs):
+    files = []
+    for d in dirs:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            print(f"check_determinism: missing scan directory {base}",
+                  file=sys.stderr)
+            sys.exit(2)
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def run_scan(root, dirs):
+    files = collect_files(root, dirs)
+    findings = []
+    for path in files:
+        findings.extend(scan_file(path))
+    for f in findings:
+        print(f.render(root))
+    if findings:
+        by_rule = {}
+        for f in findings:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        summary = ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(by_rule.items()))
+        print(f"check_determinism: FAILED — {len(findings)} finding(s) "
+              f"across {len(files)} file(s) ({summary})",
+              file=sys.stderr)
+        return 1
+    print(f"check_determinism: OK ({len(files)} files clean)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: seed each violation class into a fixture tree and assert the
+# scanner catches it; assert the escape marker and rationale suppress.
+
+FIXTURES = {
+    # Each entry: filename -> (contents, expected rule ids in order of
+    # appearance; [] means the file must scan clean).
+    "random_device.cc": (
+        """#include <random>
+int seed() {
+    std::random_device rd;
+    return static_cast<int>(rd());
+}
+""",
+        ["random-device"],
+    ),
+    "libc_rand.cc": (
+        """#include <cstdlib>
+int draw() { return rand() % 7; }
+void reseed() { srand(42); }
+""",
+        ["libc-rand", "libc-rand"],
+    ),
+    "wall_clock.cc": (
+        """#include <chrono>
+bool acceptWorse() {
+    auto t = std::chrono::steady_clock::now();
+    return t.time_since_epoch().count() % 2 == 0;
+}
+""",
+        ["wall-clock"],
+    ),
+    "unordered_iter.cc": (
+        """#include <unordered_map>
+#include <unordered_set>
+int sumFirst(const std::unordered_map<int, int> &scores) {
+    int total = 0;
+    for (const auto &kv : scores)
+        total += kv.second;
+    return total;
+}
+int takeAny(std::unordered_set<int> pending) {
+    return *pending.begin();
+}
+""",
+        ["unordered-iter", "unordered-iter"],
+    ),
+    "relaxed_flag.cc": (
+        """#include <atomic>
+bool poll(const std::atomic<bool> &flag) {
+    return flag.load(std::memory_order_relaxed);
+}
+""",
+        ["relaxed-flag"],
+    ),
+    "relaxed_with_rationale.cc": (
+        """#include <atomic>
+bool poll(const std::atomic<bool> &flag) {
+    // relaxed: advisory latch, no data published through the flag.
+    return flag.load(std::memory_order_relaxed);
+}
+""",
+        [],
+    ),
+    "allowed.cc": (
+        """#include <chrono>
+double wallSeconds() {
+    // lint:allow-nondet(fixture: the one blessed clock primitive)
+    auto t = std::chrono::steady_clock::now();
+    return static_cast<double>(t.time_since_epoch().count());
+}
+""",
+        [],
+    ),
+    "comment_only.cc": (
+        """// Mentions of steady_clock::now, rand(, random_device and
+// memory_order_relaxed in comments or strings must never fire.
+const char *kDoc = "std::random_device rand( steady_clock::now";
+int x = 0;
+""",
+        [],
+    ),
+    "membership_only.cc": (
+        """#include <unordered_set>
+bool seen(const std::unordered_set<int> &s, int v) {
+    return s.count(v) > 0; // membership is order-free: fine
+}
+""",
+        [],
+    ),
+}
+
+
+def self_test():
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="lisa_detlint_") as tmp:
+        fixture_root = os.path.join(tmp, "src", "mapping")
+        os.makedirs(fixture_root)
+        for name, (contents, _) in FIXTURES.items():
+            with open(os.path.join(fixture_root, name), "w",
+                      encoding="utf-8") as f:
+                f.write(contents)
+        for name, (_, expected) in sorted(FIXTURES.items()):
+            path = os.path.join(fixture_root, name)
+            got = [f.rule for f in scan_file(path)]
+            if got != expected:
+                failures.append(
+                    f"{name}: expected {expected or 'clean'}, got "
+                    f"{got or 'clean'}")
+    if failures:
+        for f in failures:
+            print(f"self-test FAILED: {f}", file=sys.stderr)
+        return 1
+    print(f"check_determinism: self-test OK "
+          f"({len(FIXTURES)} fixtures, all violation classes caught)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Determinism lint for the LISA search stack")
+    parser.add_argument(
+        "--root", default=None,
+        help="repository root (default: parent of this script)")
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="seed each violation class into a fixture tree and assert "
+             "the scanner catches it")
+    parser.add_argument(
+        "dirs", nargs="*",
+        help=f"directories to scan relative to the root "
+             f"(default: {' '.join(DEFAULT_DIRS)})")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    dirs = args.dirs or DEFAULT_DIRS
+    sys.exit(run_scan(root, dirs))
+
+
+if __name__ == "__main__":
+    main()
