@@ -90,7 +90,8 @@ searchResultJson(const std::string &accel, const std::string &kernel,
        << ",\"verify_ms\":" << r.verifySeconds * 1e3
        << ",\"verified\":" << (r.verified ? "true" : "false")
        << ",\"attempts\":" << r.attempts
-       << ",\"stats\":" << r.stats.toJson() << "}";
+       << ",\"budgetClass\":\"" << map::budgetClassName(r.budgetClass)
+       << "\",\"stats\":" << r.stats.toJson() << "}";
     return os.str();
 }
 

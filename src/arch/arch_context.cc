@@ -8,6 +8,7 @@
 #include <limits>
 #include <sstream>
 
+#include "support/fnv.hh"
 #include "support/logging.hh"
 
 namespace lisa::arch {
@@ -29,33 +30,10 @@ struct HeapGreater
     }
 };
 
-/** FNV-1a 64-bit, fed field by field. */
-struct Fnv1a
-{
-    uint64_t h = 1469598103934665603ull;
-
-    void
-    bytes(const void *data, size_t n)
-    {
-        const auto *p = static_cast<const unsigned char *>(data);
-        for (size_t i = 0; i < n; ++i) {
-            h ^= p[i];
-            h *= 1099511628211ull;
-        }
-    }
-
-    void
-    u64(uint64_t v)
-    {
-        bytes(&v, sizeof v);
-    }
-
-    void
-    i32(int32_t v)
-    {
-        bytes(&v, sizeof v);
-    }
-};
+/** Shared FNV-1a 64-bit hasher (support/fnv.hh); the byte-by-byte
+ *  low-first folding keeps every persisted fingerprint identical to the
+ *  values the pre-refactor local copy produced on little-endian hosts. */
+using Fnv1a = support::Fnv1a;
 
 /** @{ Little-endian-agnostic buffer writer/reader for the LARC format.
  *  Multi-byte fields are serialized byte-by-byte (low byte first), so

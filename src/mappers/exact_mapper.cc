@@ -25,6 +25,10 @@ struct Dfs
     Stopwatch timer;
     bool timedOut = false;
     RouterWorkspace ws;
+    /** Placement trials taken (each placeNode tried counts one); the
+     *  bench att/s denominator for ILP* rows. Published to the shared
+     *  MapContext counter once per tryMap, not per trial. */
+    long placements = 0;
 
     bool place(size_t depth);
     bool routeIncidentStrict(dfg::NodeId v,
@@ -109,6 +113,7 @@ Dfs::place(size_t depth)
             if (mapping.numInstancesOn(
                     mapping.mrrg().fuId(PeId{pe}, AbsTime{time})) > 0)
                 continue;
+            ++placements;
             mapping.placeNode(v, PeId{pe}, AbsTime{time});
             std::vector<dfg::EdgeId> routed_here;
             if (routeIncidentStrict(v, routed_here)) {
@@ -165,6 +170,7 @@ ExactMapper::tryMap(const MapContext &ctx)
                      "LISA_ROUTE_FILTER=strict (or disable with off)");
         }
     }
+    ctx.countAttempts(dfs.placements);
     if (ctx.stats) {
         MapperStats stats;
         stats.router = dfs.ws.counters;

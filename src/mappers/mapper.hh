@@ -173,6 +173,18 @@ struct MapContext
         if (attempts)
             attempts->fetch_add(1, std::memory_order_relaxed);
     }
+
+    /** Bulk form of countAttempt() for mappers that tally locally (the
+     *  exact DFS counts placement trials in a plain long and publishes
+     *  once per tryMap, keeping the per-trial path atomic-free). */
+    void
+    countAttempts(long n) const
+    {
+        // relaxed: statistics counter; only the final summed value is
+        // read, after the portfolio join synchronizes.
+        if (attempts && n > 0)
+            attempts->fetch_add(n, std::memory_order_relaxed);
+    }
 };
 
 /** Abstract mapping algorithm. */

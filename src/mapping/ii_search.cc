@@ -10,6 +10,43 @@
 
 namespace lisa::map {
 
+BudgetClass
+budgetClassOf(const SearchOptions &options)
+{
+    if (options.totalBudget <= 2.0)
+        return BudgetClass::Fast;
+    if (options.totalBudget <= 60.0)
+        return BudgetClass::Full;
+    return BudgetClass::Custom;
+}
+
+const char *
+budgetClassName(BudgetClass c)
+{
+    switch (c) {
+    case BudgetClass::Fast:
+        return "fast";
+    case BudgetClass::Full:
+        return "full";
+    case BudgetClass::Custom:
+        return "custom";
+    }
+    return "custom";
+}
+
+std::string
+budgetClassKey(const SearchOptions &options)
+{
+    const BudgetClass c = budgetClassOf(options);
+    if (c != BudgetClass::Custom)
+        return budgetClassName(c);
+    std::string key = "custom:";
+    key += std::to_string(options.perIiBudget);
+    key += ':';
+    key += std::to_string(options.totalBudget);
+    return key;
+}
+
 int
 resourceMii(const dfg::Dfg &dfg, const arch::Accelerator &accel)
 {
@@ -63,6 +100,7 @@ searchMinIi(Mapper &mapper, const dfg::Dfg &dfg, arch::ArchContext &context,
 {
     const arch::Accelerator &accel = context.accel();
     SearchResult result;
+    result.budgetClass = budgetClassOf(options);
     Stopwatch total;
     dfg::Analysis analysis(dfg);
     // Each II attempt gets its own split of the seed, so its stream does

@@ -14,10 +14,50 @@
 
 #include <atomic>
 #include <optional>
+#include <string>
 
 #include "mappers/mapper.hh"
 
 namespace lisa::map {
+
+/**
+ * Cache-relevant budget bucket of a SearchOptions.
+ *
+ * The serve daemon keys its result cache on (canonical DFG hash, fabric
+ * fingerprint, budget class), and the bench harness labels its JSON rows
+ * with the same value, so the bucketing rule lives here and nowhere
+ * else:
+ *
+ *  - Fast:   totalBudget <= 2.0 s  (smoke/interactive tier)
+ *  - Full:   totalBudget <= 60.0 s (the default production sweep)
+ *  - Custom: anything longer — keyed by its exact budgets, because two
+ *    different oversized budgets can legitimately reach different IIs.
+ *
+ * Only the *total* budget buckets the class: perIiBudget shapes how the
+ * sweep spends its time, not how much it gets, and folding it into the
+ * bucket would split cache entries that converge to the same answer.
+ */
+enum class BudgetClass : uint8_t
+{
+    Fast,
+    Full,
+    Custom,
+};
+
+struct SearchOptions;
+
+/** Classify @p options per the rule documented on BudgetClass. */
+BudgetClass budgetClassOf(const SearchOptions &options);
+
+/** Stable lowercase name: "fast" / "full" / "custom". */
+const char *budgetClassName(BudgetClass c);
+
+/**
+ * Cache-key string for the budget component: the class name for Fast and
+ * Full, "custom:<perIiBudget>:<totalBudget>" for Custom so distinct
+ * oversized budgets never alias.
+ */
+std::string budgetClassKey(const SearchOptions &options);
 
 /** Options for one full compilation (II sweep). */
 struct SearchOptions
@@ -65,6 +105,9 @@ struct SearchResult
     /** II at which an enclosing portfolio incumbent cancelled this sweep
      *  (0 = the sweep ran to its own completion). */
     int cancelledAtIi = 0;
+    /** Budget bucket of the options this sweep ran under (see
+     *  BudgetClass for the rule) — the third serve cache-key component. */
+    BudgetClass budgetClass = BudgetClass::Full;
     /** Observability counters merged over all streams and II attempts. */
     MapperStats stats;
     /** The valid mapping (present iff success). */

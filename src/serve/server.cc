@@ -1,0 +1,212 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/stopwatch.hh"
+
+namespace lisa::serve {
+
+ServeServer::ServeServer(MappingService &service, std::string socket_path)
+    : svc(service), path(std::move(socket_path))
+{
+}
+
+ServeServer::~ServeServer()
+{
+    stop();
+}
+
+bool
+ServeServer::start(std::string *error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        if (error)
+            *error = "socket path too long: " + path;
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    ::unlink(path.c_str()); // stale socket from a crashed predecessor
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listenFd, 64) != 0) {
+        if (error)
+            *error = std::string("bind/listen: ") + std::strerror(errno);
+        ::close(listenFd);
+        listenFd = -1;
+        return false;
+    }
+    acceptor = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+ServeServer::acceptLoop()
+{
+    while (!shuttingDown.load(std::memory_order_acquire)) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // listen fd closed (stop()) or fatal error
+        }
+        support::LockGuard lock(mu);
+        if (stopped || shuttingDown.load(std::memory_order_acquire)) {
+            ::close(fd);
+            break;
+        }
+        connFds.push_back(fd);
+        workers.emplace_back([this, fd] { connectionLoop(fd); });
+    }
+}
+
+void
+ServeServer::connectionLoop(int fd)
+{
+    std::string pending;
+    char buf[1 << 14];
+    while (true) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            break;
+        pending.append(buf, static_cast<size_t>(n));
+        size_t nl = 0;
+        while ((nl = pending.find('\n')) != std::string::npos) {
+            std::string line = pending.substr(0, nl);
+            pending.erase(0, nl + 1);
+            if (line.empty())
+                continue;
+            std::string response = handleLine(line);
+            response += '\n';
+            size_t off = 0;
+            while (off < response.size()) {
+                // MSG_NOSIGNAL: a client that hung up must surface as
+                // EPIPE here, not as a process-killing SIGPIPE.
+                const ssize_t w =
+                    ::send(fd, response.data() + off,
+                           response.size() - off, MSG_NOSIGNAL);
+                if (w <= 0)
+                    return;
+                off += static_cast<size_t>(w);
+            }
+            if (shuttingDown.load(std::memory_order_acquire)) {
+                // Shutdown response is flushed; only now wake the main
+                // thread, so stop() cannot race the last write.
+                shutdownCv.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+std::string
+ServeServer::handleLine(const std::string &line)
+{
+    std::string error;
+    auto doc = jsonParse(line, &error);
+    if (!doc || !doc->isObject())
+        return encodeError("bad request: " +
+                           (error.empty() ? "not an object" : error));
+    const std::string op = doc->str("op");
+    if (op == "ping")
+        return "{\"ok\":true,\"op\":\"ping\"}";
+    if (op == "stats")
+        return "{\"ok\":true,\"op\":\"stats\",\"stats\":" +
+               svc.stats().toJson() + "}";
+    if (op == "shutdown") {
+        // Only the flag flips here; the notify happens after the
+        // response line is flushed (connectionLoop) or in stop(), so a
+        // socket client always receives the acknowledgement before the
+        // daemon starts tearing connections down. Direct callers
+        // (tests, in-process bench) observe shutdownRequested().
+        shuttingDown.store(true, std::memory_order_release);
+        return "{\"ok\":true,\"op\":\"shutdown\"}";
+    }
+    if (op == "map") {
+        MapRequest req;
+        if (!decodeMapRequest(line, req, &error))
+            return encodeError(error);
+        Stopwatch sw;
+        const MapOutcome outcome = svc.map(req);
+        return encodeMapResponse(outcome, sw.millis());
+    }
+    return encodeError("unknown op: " + op);
+}
+
+bool
+ServeServer::shutdownRequested() const
+{
+    return shuttingDown.load(std::memory_order_acquire);
+}
+
+bool
+ServeServer::waitForShutdown(double timeout_seconds)
+{
+    support::UniqueLock lock(mu);
+    while (!shuttingDown.load(std::memory_order_acquire) && !stopped) {
+        if (timeout_seconds < 0.0) {
+            shutdownCv.wait(lock);
+        } else {
+            shutdownCv.wait_for(
+                lock, std::chrono::duration<double>(timeout_seconds));
+            break;
+        }
+    }
+    return shuttingDown.load(std::memory_order_acquire) || stopped;
+}
+
+void
+ServeServer::stop()
+{
+    {
+        support::LockGuard lock(mu);
+        if (stopped)
+            return;
+        stopped = true;
+    }
+    shuttingDown.store(true, std::memory_order_release);
+    shutdownCv.notify_all();
+    if (listenFd >= 0) {
+        // shutdown() unblocks a parked accept(); close() alone does not
+        // on every kernel.
+        ::shutdown(listenFd, SHUT_RDWR);
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    if (acceptor.joinable())
+        acceptor.join();
+    std::vector<std::thread> to_join;
+    {
+        support::LockGuard lock(mu);
+        for (int fd : connFds)
+            ::shutdown(fd, SHUT_RDWR);
+        to_join.swap(workers);
+    }
+    for (std::thread &t : to_join)
+        t.join();
+    {
+        support::LockGuard lock(mu);
+        for (int fd : connFds)
+            ::close(fd);
+        connFds.clear();
+    }
+    ::unlink(path.c_str());
+}
+
+} // namespace lisa::serve

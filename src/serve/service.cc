@@ -1,0 +1,331 @@
+#include "serve/service.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "arch/arch_context.hh"
+#include "dfg/serialize.hh"
+#include "mappers/evo_mapper.hh"
+#include "mappers/exact_mapper.hh"
+#include "mappers/sa_mapper.hh"
+#include "support/logging.hh"
+#include "verify/mapping_io.hh"
+#include "verify/verify.hh"
+
+namespace lisa::serve {
+
+std::string
+ServeConfig::envCacheFile()
+{
+    const char *v = std::getenv("LISA_SERVE_CACHE");
+    return v ? v : "";
+}
+
+std::string
+ServeStats::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"requests\":" << requests << ",\"hits\":" << hits
+       << ",\"misses\":" << misses << ",\"coalesced\":" << coalesced
+       << ",\"searches\":" << searches
+       << ",\"verifyFailures\":" << verifyFailures << "}";
+    return os.str();
+}
+
+namespace {
+
+/** Production search backend: the full cross-mapper race, minus LISA —
+ *  the daemon serves without a trained GNN on disk; adding the guided
+ *  member is a config concern once models ship with deployments. */
+map::PortfolioResult
+portfolioSearch(const dfg::Dfg &dfg, arch::ArchContext &context,
+                const map::SearchOptions &options)
+{
+    map::PortfolioSearch race(context);
+    race.addMember("SA", std::make_unique<map::SaMapper>(), options);
+    race.addMember("ILP*", std::make_unique<map::ExactMapper>(), options);
+    race.addMember("EVO", std::make_unique<map::EvoMapper>(), options);
+    return race.run(dfg);
+}
+
+} // namespace
+
+MappingService::MappingService(ServeConfig config)
+    : cfg(std::move(config)), search(portfolioSearch)
+{
+    if (!cfg.cacheFile.empty()) {
+        if (store.load(cfg.cacheFile))
+            inform("lisa-serve: warm-started ", store.size(),
+                   " cache entries from ", cfg.cacheFile);
+    }
+    if (cfg.maxInflight < 1)
+        cfg.maxInflight = 1;
+}
+
+MappingService::~MappingService()
+{
+    saveCache();
+}
+
+void
+MappingService::setSearchFn(SearchFn fn)
+{
+    search = std::move(fn);
+}
+
+bool
+MappingService::saveCache()
+{
+    if (cfg.cacheFile.empty())
+        return true;
+    {
+        support::LockGuard lock(mu);
+        if (!dirty)
+            return true;
+        dirty = false;
+    }
+    return store.save(cfg.cacheFile);
+}
+
+ServeStats
+MappingService::stats() const
+{
+    support::LockGuard lock(mu);
+    return counters;
+}
+
+MappingService::ArchEntry *
+MappingService::archFor(const std::string &spec, std::string *error)
+{
+    auto accel = verify::accelFromSpec(spec, error);
+    if (!accel)
+        return nullptr;
+    // Normalize: two spellings of one fabric share an entry.
+    const std::string canonical_spec = verify::accelSpecOf(*accel);
+    support::LockGuard lock(mu);
+    auto it = archs.find(canonical_spec);
+    if (it != archs.end())
+        return it->second.get();
+    auto entry = std::make_unique<ArchEntry>();
+    entry->accel = std::move(accel);
+    entry->context = std::make_unique<arch::ArchContext>(*entry->accel);
+    ArchEntry *raw = entry.get();
+    archs[canonical_spec] = std::move(entry);
+    return raw;
+}
+
+bool
+MappingService::serveEntry(ArchEntry &arch, const dfg::Dfg &request_dfg,
+                           const dfg::CanonicalDfg &canon,
+                           const CacheEntry &entry, MapOutcome &out)
+{
+    std::string error;
+    auto loaded = verify::mappingFromText(entry.mappingText, &error);
+    if (!loaded)
+        return false;
+    // The stored artifact must be shaped like this request's canonical
+    // form; anything else is corruption (or an FNV collision) and the
+    // entry is unusable.
+    if (loaded->dfg->numNodes() != request_dfg.numNodes() ||
+        loaded->dfg->numEdges() != request_dfg.numEdges())
+        return false;
+    if (verify::accelSpecOf(*loaded->accel) !=
+        verify::accelSpecOf(arch.context->accel()))
+        return false;
+
+    const int ii = loaded->mrrg->ii();
+    auto mrrg = arch.context->mrrgFor(ii);
+    map::Mapping translated(request_dfg, mrrg);
+
+    const auto n = static_cast<dfg::NodeId>(request_dfg.numNodes());
+    for (dfg::NodeId canon_v = 0; canon_v < n; ++canon_v) {
+        const map::Placement &p = loaded->mapping->placement(canon_v);
+        if (!p.mapped())
+            return false;
+        if (static_cast<int>(p.pe) < 0 ||
+            static_cast<int>(p.pe) >= arch.context->accel().numPes() ||
+            static_cast<int>(p.time) < 0 ||
+            static_cast<int>(p.time) >= translated.horizon())
+            return false;
+        translated.placeNode(canon.nodeOrder[canon_v], p.pe, p.time);
+    }
+    const auto m = static_cast<dfg::EdgeId>(request_dfg.numEdges());
+    for (dfg::EdgeId canon_e = 0; canon_e < m; ++canon_e) {
+        if (!loaded->mapping->isRouted(canon_e))
+            return false;
+        for (int res : loaded->mapping->route(canon_e))
+            if (res < 0 || res >= mrrg->numResources())
+                return false;
+        translated.setRoute(canon.edgeOrder[canon_e],
+                            loaded->mapping->route(canon_e));
+    }
+
+    // Verify-on-hit: the *served* bytes (translated to request ids, on
+    // this context's MRRG) pass the independent verifier, or nothing is
+    // served from the cache at all.
+    const verify::VerifyReport report =
+        verify::verifyMapping(request_dfg, *mrrg, translated, {});
+    if (!report.ok())
+        return false;
+
+    out.ok = true;
+    out.verified = true;
+    out.ii = entry.ii;
+    out.mii = entry.mii;
+    out.winner = entry.winner;
+    out.attempts = entry.attempts;
+    out.searchSeconds = entry.searchSeconds;
+    out.mappingText = verify::mappingToText(translated);
+    return true;
+}
+
+MapOutcome
+MappingService::map(const MapRequest &req)
+{
+    MapOutcome out;
+    {
+        support::LockGuard lock(mu);
+        ++counters.requests;
+    }
+
+    std::string error;
+    auto parsed = dfg::fromText(req.dfgText, &error);
+    if (!parsed) {
+        out.error = "dfg: " + error;
+        return out;
+    }
+    dfg::Dfg request_dfg = std::move(*parsed);
+    if (!request_dfg.validate(&error)) {
+        out.error = "dfg: " + error;
+        return out;
+    }
+
+    ArchEntry *arch = archFor(req.accelSpec, &error);
+    if (!arch) {
+        out.error = "accel: " + error;
+        return out;
+    }
+
+    map::SearchOptions options;
+    options.perIiBudget = req.perIiBudget;
+    options.totalBudget = req.totalBudget;
+    options.seed = req.seed;
+    out.budgetClass = map::budgetClassName(map::budgetClassOf(options));
+
+    const dfg::CanonicalDfg canon = dfg::canonicalize(request_dfg);
+    const CacheKey key{canon.hash, arch->context->fingerprint(),
+                       map::budgetClassKey(options)};
+
+    if (auto entry = store.lookup(key)) {
+        if (serveEntry(*arch, request_dfg, canon, *entry, out)) {
+            out.cacheHit = true;
+            support::LockGuard lock(mu);
+            ++counters.hits;
+            return out;
+        }
+        // Evict the unusable entry and treat the request as a miss.
+        store.erase(key);
+        support::LockGuard lock(mu);
+        ++counters.verifyFailures;
+    }
+
+    // Miss path: coalesce identical concurrent requests onto one search.
+    std::shared_ptr<Inflight> flight;
+    bool leader = false;
+    {
+        support::UniqueLock lock(mu);
+        ++counters.misses;
+        auto it = inflight.find(key);
+        if (it != inflight.end()) {
+            flight = it->second;
+            ++counters.coalesced;
+            while (!flight->done)
+                flight->cv.wait(lock);
+        } else {
+            flight = std::make_shared<Inflight>();
+            inflight[key] = flight;
+            leader = true;
+        }
+    }
+
+    if (leader) {
+        // Admission control: bound concurrent searches.
+        {
+            support::UniqueLock lock(mu);
+            while (runningSearches >= cfg.maxInflight)
+                admitCv.wait(lock);
+            ++runningSearches;
+            ++counters.searches;
+        }
+
+        // Search the *canonical* DFG so the stored mapping is expressed
+        // in canonical ids and serves every permutation variant.
+        std::shared_ptr<const CacheEntry> result;
+        std::string search_error;
+        int mii = 0;
+        auto canon_dfg = dfg::fromText(canon.text, &error);
+        if (!canon_dfg) {
+            // Canonicalizer and serializer disagree — a bug, not a
+            // request problem; fail the request loudly.
+            search_error = "internal: canonical text unparsable: " + error;
+        } else {
+            const map::PortfolioResult res =
+                search(*canon_dfg, *arch->context, options);
+            mii = res.mii;
+            if (res.success && res.mapping) {
+                auto entry = std::make_shared<CacheEntry>();
+                entry->key = key;
+                entry->ii = res.ii;
+                entry->mii = res.mii;
+                entry->attempts = res.attempts;
+                entry->searchSeconds = res.seconds;
+                entry->winner = res.winner;
+                entry->mappingText = verify::mappingToText(*res.mapping);
+                store.insert(entry);
+                result = std::move(entry);
+            } else {
+                search_error = "unmappable within budget";
+            }
+        }
+
+        {
+            support::UniqueLock lock(mu);
+            --runningSearches;
+            flight->done = true;
+            flight->entry = result;
+            flight->error = search_error;
+            flight->mii = mii;
+            inflight.erase(key);
+            if (result)
+                dirty = true;
+        }
+        admitCv.notify_one();
+        flight->cv.notify_all();
+        // Persist eagerly so a crash after a successful search never
+        // loses the work (LSRV save is atomic and cheap at cache scale).
+        saveCache();
+    } else {
+        out.coalesced = true;
+    }
+
+    std::shared_ptr<const CacheEntry> entry;
+    int mii = 0;
+    {
+        support::LockGuard lock(mu);
+        entry = flight->entry;
+        error = flight->error;
+        mii = flight->mii;
+    }
+    if (!entry) {
+        out.error = error;
+        out.mii = mii;
+        return out;
+    }
+    if (!serveEntry(*arch, request_dfg, canon, *entry, out)) {
+        out.error = "internal: fresh search result failed verification";
+        return out;
+    }
+    return out;
+}
+
+} // namespace lisa::serve

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * FNV-1a 64-bit hashing, fed field by field.
+ *
+ * One shared implementation for every content fingerprint in the tree:
+ * the ArchContext fabric fingerprint (arch/arch_context.cc), the
+ * canonical DFG hash (dfg/canonical.cc), and the serve result-cache
+ * checksums (serve/cache.cc). Multi-byte integers are folded low byte
+ * first, so a hash is stable across host endianness — required because
+ * the LARC and LSRV warm-start files persist these values to disk and
+ * validate them on load.
+ */
+
+#ifndef LISA_SUPPORT_FNV_HH
+#define LISA_SUPPORT_FNV_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lisa::support {
+
+/** Incremental FNV-1a 64-bit hasher. */
+struct Fnv1a
+{
+    uint64_t h = 1469598103934665603ull;
+
+    void
+    bytes(const void *data, size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ull;
+        }
+    }
+
+    /** Fold a 64-bit value low byte first (endianness-stable). */
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+
+    void
+    i32(int32_t v)
+    {
+        u64(static_cast<uint64_t>(static_cast<uint32_t>(v)));
+    }
+
+    void
+    str(std::string_view s)
+    {
+        bytes(s.data(), s.size());
+    }
+};
+
+/** One-shot FNV-1a over a byte string. */
+inline uint64_t
+fnv1a(std::string_view s)
+{
+    Fnv1a f;
+    f.str(s);
+    return f.h;
+}
+
+} // namespace lisa::support
+
+#endif // LISA_SUPPORT_FNV_HH

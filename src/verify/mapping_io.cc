@@ -13,9 +13,18 @@ namespace lisa::verify {
 
 namespace {
 
-/** Reconstructible accelerator spec line, or empty when unsupported. */
+bool
+fail(std::string *error, const std::string &msg)
+{
+    if (error)
+        *error = msg;
+    return false;
+}
+
+} // namespace
+
 std::string
-accelSpec(const arch::Accelerator &accel)
+accelSpecOf(const arch::Accelerator &accel)
 {
     if (const auto *cgra = dynamic_cast<const arch::CgraArch *>(&accel)) {
         const arch::CgraConfig &cfg = cgra->config();
@@ -35,20 +44,46 @@ accelSpec(const arch::Accelerator &accel)
     return {};
 }
 
-bool
-fail(std::string *error, const std::string &msg)
+std::unique_ptr<arch::Accelerator>
+accelFromSpec(const std::string &spec, std::string *error)
 {
-    if (error)
-        *error = msg;
-    return false;
+    std::istringstream ls(spec);
+    std::string tag, kind;
+    ls >> tag >> kind;
+    if (tag != "accel") {
+        fail(error, "expected 'accel', got: " + spec);
+        return nullptr;
+    }
+    if (kind == "cgra") {
+        arch::CgraConfig cfg;
+        std::string mem;
+        if (!(ls >> cfg.rows >> cfg.cols >> cfg.registersPerPe >> mem >>
+              cfg.configDepth) ||
+            cfg.rows < 1 || cfg.cols < 1 || cfg.registersPerPe < 0 ||
+            cfg.configDepth < 1 || (mem != "all" && mem != "left")) {
+            fail(error, "malformed cgra spec: " + spec);
+            return nullptr;
+        }
+        cfg.memPolicy = mem == "all" ? arch::MemPolicy::AllPes
+                                     : arch::MemPolicy::LeftColumn;
+        return std::make_unique<arch::CgraArch>(cfg);
+    }
+    if (kind == "systolic") {
+        int rows = 0, cols = 0;
+        if (!(ls >> rows >> cols) || rows < 1 || cols < 3) {
+            fail(error, "malformed systolic spec: " + spec);
+            return nullptr;
+        }
+        return std::make_unique<arch::SystolicArch>(rows, cols);
+    }
+    fail(error, "unknown accelerator kind: " + kind);
+    return nullptr;
 }
-
-} // namespace
 
 void
 writeMapping(const map::Mapping &mapping, std::ostream &os)
 {
-    const std::string spec = accelSpec(mapping.mrrg().accel());
+    const std::string spec = accelSpecOf(mapping.mrrg().accel());
     if (spec.empty())
         fatal("writeMapping: accelerator '", mapping.mrrg().accel().name(),
               "' has no serializable spec");
@@ -112,39 +147,9 @@ readMapping(std::istream &is, std::string *error)
         fail(error, "missing accel line");
         return std::nullopt;
     }
-    {
-        std::istringstream ls(line);
-        std::string tag, kind;
-        ls >> tag >> kind;
-        if (tag != "accel") {
-            fail(error, "expected 'accel', got: " + line);
-            return std::nullopt;
-        }
-        if (kind == "cgra") {
-            arch::CgraConfig cfg;
-            std::string mem;
-            if (!(ls >> cfg.rows >> cfg.cols >> cfg.registersPerPe >> mem >>
-                  cfg.configDepth) ||
-                cfg.rows < 1 || cfg.cols < 1 || cfg.registersPerPe < 0 ||
-                cfg.configDepth < 1 || (mem != "all" && mem != "left")) {
-                fail(error, "malformed cgra spec: " + line);
-                return std::nullopt;
-            }
-            cfg.memPolicy = mem == "all" ? arch::MemPolicy::AllPes
-                                         : arch::MemPolicy::LeftColumn;
-            out.accel = std::make_unique<arch::CgraArch>(cfg);
-        } else if (kind == "systolic") {
-            int rows = 0, cols = 0;
-            if (!(ls >> rows >> cols) || rows < 1 || cols < 3) {
-                fail(error, "malformed systolic spec: " + line);
-                return std::nullopt;
-            }
-            out.accel = std::make_unique<arch::SystolicArch>(rows, cols);
-        } else {
-            fail(error, "unknown accelerator kind: " + kind);
-            return std::nullopt;
-        }
-    }
+    out.accel = accelFromSpec(line, error);
+    if (!out.accel)
+        return std::nullopt;
 
     // II.
     int ii = 0;

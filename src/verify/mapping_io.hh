@@ -45,6 +45,21 @@ struct LoadedMapping
 };
 
 /**
+ * Reconstructible accelerator spec line ("accel cgra ..." / "accel
+ * systolic ..."), or empty when the accelerator type is unsupported.
+ * The inverse of accelFromSpec(); also the per-accelerator identity
+ * string of the serve daemon's ArchContext registry.
+ */
+std::string accelSpecOf(const arch::Accelerator &accel);
+
+/**
+ * Parse an accelerator spec line produced by accelSpecOf(). Returns
+ * nullptr (and fills @p error if non-null) on malformed input.
+ */
+std::unique_ptr<arch::Accelerator> accelFromSpec(const std::string &spec,
+                                                 std::string *error = nullptr);
+
+/**
  * Write @p mapping in the text format. The accelerator must be a CgraArch
  * or SystolicArch (the spec line must be reconstructible); fatal()
  * otherwise.

@@ -93,6 +93,46 @@ TEST(ExactMapper, RespectsTimeBudget)
     EXPECT_LT(sw.seconds(), 2.0);
 }
 
+TEST(ExactMapper, CountsPlacementAttempts)
+{
+    // Regression: the exact DFS never touched ctx.attempts, so bench JSON
+    // reported "attempts":0 for every ILP* row. Each placement trial the
+    // search explores must land in the shared counter.
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto w = workloads::workloadByName("gemm");
+    dfg::Analysis an(w.dfg);
+    Rng rng(1);
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 2);
+    ExactMapper ex;
+    std::atomic<long> attempts{0};
+    MapContext ctx{w.dfg, an, mrrg, 5.0, rng};
+    ctx.attempts = &attempts;
+    auto m = ex.tryMap(ctx);
+    ASSERT_TRUE(m.has_value());
+    // At minimum every node was placed once on the successful path.
+    EXPECT_GE(attempts.load(),
+              static_cast<long>(w.dfg.numNodes()));
+}
+
+TEST(ExactMapper, CountsAttemptsOnFailureToo)
+{
+    // Even an infeasible instance explores (and must count) placements.
+    arch::CgraArch c(arch::baselineCgra(1, 1));
+    dfg::DfgBuilder b("two");
+    auto x = b.load("x");
+    b.op(OpCode::Add, {x});
+    dfg::Dfg g = b.build();
+    dfg::Analysis an(g);
+    Rng rng(1);
+    auto mrrg = std::make_shared<const arch::Mrrg>(c, 1);
+    ExactMapper ex;
+    std::atomic<long> attempts{0};
+    MapContext ctx{g, an, mrrg, 1.0, rng};
+    ctx.attempts = &attempts;
+    EXPECT_FALSE(ex.tryMap(ctx).has_value());
+    EXPECT_GT(attempts.load(), 0);
+}
+
 TEST(ExactMapper, IsDeterministic)
 {
     arch::CgraArch c(arch::baselineCgra(4, 4));

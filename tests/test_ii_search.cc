@@ -289,6 +289,55 @@ TEST(SearchMinIi, TemporalIncumbentBoundsSweep)
     EXPECT_EQ(r.stats.incumbentCancels, 1u);
 }
 
+TEST(BudgetClass, BucketsOnTotalBudgetOnly)
+{
+    // The one documented rule (see map::BudgetClass): Fast <= 2 s total,
+    // Full <= 60 s total, Custom beyond; perIiBudget never buckets.
+    SearchOptions opts;
+    opts.perIiBudget = 0.01;
+    opts.totalBudget = 2.0;
+    EXPECT_EQ(budgetClassOf(opts), BudgetClass::Fast);
+    EXPECT_EQ(budgetClassKey(opts), "fast");
+
+    opts.perIiBudget = 59.0; // irrelevant to the class
+    opts.totalBudget = 60.0;
+    EXPECT_EQ(budgetClassOf(opts), BudgetClass::Full);
+    EXPECT_EQ(budgetClassKey(opts), "full");
+
+    opts.totalBudget = 60.5;
+    EXPECT_EQ(budgetClassOf(opts), BudgetClass::Custom);
+    // Custom keys carry both budgets so distinct tiers never collide.
+    EXPECT_EQ(budgetClassKey(opts).rfind("custom:", 0), 0u);
+    SearchOptions other = opts;
+    other.totalBudget = 61.0;
+    EXPECT_NE(budgetClassKey(opts), budgetClassKey(other));
+
+    EXPECT_STREQ(budgetClassName(BudgetClass::Fast), "fast");
+    EXPECT_STREQ(budgetClassName(BudgetClass::Full), "full");
+    EXPECT_STREQ(budgetClassName(BudgetClass::Custom), "custom");
+}
+
+TEST(BudgetClass, StampedIntoSearchResult)
+{
+    // Both success and failure paths report the class the sweep ran under.
+    arch::CgraArch c(arch::baselineCgra(4, 4));
+    auto w = workloads::workloadByName("doitgen");
+    SaMapper sa;
+    SearchOptions opts;
+    opts.perIiBudget = 1.0;
+    opts.totalBudget = 2.0;
+    auto r = searchMinIi(sa, w.dfg, c, opts);
+    EXPECT_EQ(r.budgetClass, BudgetClass::Fast);
+
+    arch::SystolicArch s(5, 5);
+    auto trmm = workloads::polybenchKernel(
+        "trmm", workloads::KernelVariant::Streaming);
+    opts.totalBudget = 1.0;
+    auto fail = searchMinIi(sa, trmm, s, opts);
+    EXPECT_FALSE(fail.success);
+    EXPECT_EQ(fail.budgetClass, BudgetClass::Fast);
+}
+
 TEST(SearchMinIi, MappedSystolicKernelHasIiOne)
 {
     arch::SystolicArch s(5, 5);

@@ -50,16 +50,21 @@ import re
 import sys
 import tempfile
 
-# Directories scanned by default, relative to the repo root. The three
-# search-stack directories are the contract's core; arch and support are
-# included because the search stack's shared state (ArchContext, thread
-# pool, Rng, Stopwatch) lives there.
+# Paths scanned by default, relative to the repo root: directories or
+# individual files. The three search-stack directories are the
+# contract's core; arch and support are included because the search
+# stack's shared state (ArchContext, thread pool, Rng, Stopwatch) lives
+# there; serve is the daemon whose cache keys and replay must be
+# reproducible, and dfg/canonical is the hash those keys stand on.
 DEFAULT_DIRS = [
     "src/mapping",
     "src/mappers",
     "src/core",
     "src/arch",
     "src/support",
+    "src/serve",
+    "src/dfg/canonical.hh",
+    "src/dfg/canonical.cc",
 ]
 
 SOURCE_EXTENSIONS = (".cc", ".hh", ".cpp", ".hpp", ".h")
@@ -249,8 +254,11 @@ def collect_files(root, dirs):
     files = []
     for d in dirs:
         base = os.path.join(root, d)
+        if os.path.isfile(base):
+            files.append(base)
+            continue
         if not os.path.isdir(base):
-            print(f"check_determinism: missing scan directory {base}",
+            print(f"check_determinism: missing scan path {base}",
                   file=sys.stderr)
             sys.exit(2)
         for dirpath, _, names in os.walk(base):
@@ -411,7 +419,7 @@ def main():
              "the scanner catches it")
     parser.add_argument(
         "dirs", nargs="*",
-        help=f"directories to scan relative to the root "
+        help=f"directories or files to scan relative to the root "
              f"(default: {' '.join(DEFAULT_DIRS)})")
     args = parser.parse_args()
 

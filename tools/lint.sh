@@ -42,6 +42,8 @@ HOT_FILES=(
     src/mapping/routability_filter.cc
     src/mapping/portfolio.hh
     src/arch/arch_context.hh
+    src/serve/cache.hh
+    src/serve/cache.cc
 )
 
 ALLOC_RE='(^|[^[:alnum:]_."])new[[:space:]]|std::make_unique|std::make_shared|[^[:alnum:]_]malloc[[:space:]]*\(|[^[:alnum:]_]calloc[[:space:]]*\(|[^[:alnum:]_]realloc[[:space:]]*\('
