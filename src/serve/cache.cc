@@ -108,7 +108,9 @@ struct Reader
     str()
     {
         const uint64_t n = u64();
-        if (bad || pos + n > buf.size()) {
+        // n is attacker-shaped (file bytes): compare against the space
+        // left rather than `pos + n`, which can wrap for huge n.
+        if (bad || n > buf.size() - pos) {
             bad = true;
             return {};
         }

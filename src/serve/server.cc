@@ -36,22 +36,22 @@ ServeServer::start(std::string *error)
     }
     std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
 
-    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listenFd < 0) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
         if (error)
             *error = std::string("socket: ") + std::strerror(errno);
         return false;
     }
     ::unlink(path.c_str()); // stale socket from a crashed predecessor
-    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
-               sizeof addr) != 0 ||
-        ::listen(listenFd, 64) != 0) {
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) !=
+            0 ||
+        ::listen(fd, 64) != 0) {
         if (error)
             *error = std::string("bind/listen: ") + std::strerror(errno);
-        ::close(listenFd);
-        listenFd = -1;
+        ::close(fd);
         return false;
     }
+    listenFd.store(fd, std::memory_order_release);
     acceptor = std::thread([this] { acceptLoop(); });
     return true;
 }
@@ -60,24 +60,69 @@ void
 ServeServer::acceptLoop()
 {
     while (!shuttingDown.load(std::memory_order_acquire)) {
-        const int fd = ::accept(listenFd, nullptr, nullptr);
+        const int fd = ::accept(
+            listenFd.load(std::memory_order_acquire), nullptr, nullptr);
         if (fd < 0) {
-            if (errno == EINTR)
+            if (shuttingDown.load(std::memory_order_acquire))
+                break; // stop() closed the listen fd
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue; // transient: e.g. client gone before accept
+            if (errno == EMFILE || errno == ENFILE) {
+                // fd exhaustion is load, not a broken listener: back
+                // off so in-flight connections can finish and release
+                // fds, then keep accepting.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
                 continue;
-            break; // listen fd closed (stop()) or fatal error
+            }
+            break; // unrecoverable listen-socket error
         }
+        reapFinished();
         support::LockGuard lock(mu);
         if (stopped || shuttingDown.load(std::memory_order_acquire)) {
             ::close(fd);
             break;
         }
-        connFds.push_back(fd);
-        workers.emplace_back([this, fd] { connectionLoop(fd); });
+        conns.emplace(fd,
+                      std::thread([this, fd] { connectionLoop(fd); }));
     }
 }
 
 void
 ServeServer::connectionLoop(int fd)
+{
+    serveConnection(fd);
+    releaseConnection(fd);
+}
+
+void
+ServeServer::releaseConnection(int fd)
+{
+    support::LockGuard lock(mu);
+    const auto it = conns.find(fd);
+    if (it == conns.end())
+        return; // stop() owns the entry now; it closes and joins
+    ::close(fd);
+    finished.push_back(std::move(it->second));
+    conns.erase(it);
+    // stop() may be waiting for the connection table to drain.
+    shutdownCv.notify_all();
+}
+
+void
+ServeServer::reapFinished()
+{
+    std::vector<std::thread> batch;
+    {
+        support::LockGuard lock(mu);
+        batch.swap(finished);
+    }
+    for (std::thread &t : batch)
+        t.join();
+}
+
+void
+ServeServer::serveConnection(int fd)
 {
     std::string pending;
     char buf[1 << 14];
@@ -182,29 +227,38 @@ ServeServer::stop()
     }
     shuttingDown.store(true, std::memory_order_release);
     shutdownCv.notify_all();
-    if (listenFd >= 0) {
+    const int lfd = listenFd.exchange(-1);
+    if (lfd >= 0) {
         // shutdown() unblocks a parked accept(); close() alone does not
         // on every kernel.
-        ::shutdown(listenFd, SHUT_RDWR);
-        ::close(listenFd);
-        listenFd = -1;
+        ::shutdown(lfd, SHUT_RDWR);
+        ::close(lfd);
     }
     if (acceptor.joinable())
         acceptor.join();
-    std::vector<std::thread> to_join;
     {
+        // Nudge every live handler off its recv(). Each one then closes
+        // its own fd and parks its handle in `finished`; closing here
+        // instead would race a handler still blocked on the fd.
         support::LockGuard lock(mu);
-        for (int fd : connFds)
-            ::shutdown(fd, SHUT_RDWR);
-        to_join.swap(workers);
+        for (const auto &conn : conns)
+            ::shutdown(conn.first, SHUT_RDWR);
     }
-    for (std::thread &t : to_join)
-        t.join();
-    {
-        support::LockGuard lock(mu);
-        for (int fd : connFds)
-            ::close(fd);
-        connFds.clear();
+    // Drain: join finished handlers until the connection table empties.
+    while (true) {
+        std::vector<std::thread> batch;
+        {
+            support::UniqueLock lock(mu);
+            batch.swap(finished);
+            if (batch.empty()) {
+                if (conns.empty())
+                    break;
+                shutdownCv.wait(lock);
+                continue;
+            }
+        }
+        for (std::thread &t : batch)
+            t.join();
     }
     ::unlink(path.c_str());
 }

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -67,15 +68,30 @@ class ServeServer
   private:
     void acceptLoop();
     void connectionLoop(int fd);
+    /** Request/response I/O until the peer disconnects. */
+    void serveConnection(int fd);
+    /** Handler-side teardown: close the fd, drop the conns entry, and
+     *  park the thread handle in `finished` for joining. No-op when
+     *  stop() already took ownership of the entry. */
+    void releaseConnection(int fd) LISA_EXCLUDES(mu);
+    /** Join every thread parked in `finished` (all have exited their
+     *  connection; joins are immediate). */
+    void reapFinished() LISA_EXCLUDES(mu);
 
     MappingService &svc;
     std::string path;
-    int listenFd = -1;
+    /** Atomic because stop() retires it (exchange to -1) while the
+     *  accept loop is reading it for the next accept(). */
+    std::atomic<int> listenFd{-1};
     std::atomic<bool> shuttingDown{false};
 
     support::Mutex mu;
-    std::vector<std::thread> workers LISA_GUARDED_BY(mu);
-    std::vector<int> connFds LISA_GUARDED_BY(mu);
+    /** Live connections: fd -> its handler thread. An entry owns both;
+     *  whoever erases it is responsible for the fd and the join. */
+    std::map<int, std::thread> conns LISA_GUARDED_BY(mu);
+    /** Handlers that finished their connection and parked their thread
+     *  handle for joining (reaped in acceptLoop and stop()). */
+    std::vector<std::thread> finished LISA_GUARDED_BY(mu);
     bool stopped LISA_GUARDED_BY(mu) = false;
     std::thread acceptor; ///< joined by stop(); set once in start()
     std::condition_variable_any shutdownCv;

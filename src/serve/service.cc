@@ -1,6 +1,7 @@
 #include "serve/service.hh"
 
 #include <cstdlib>
+#include <exception>
 #include <sstream>
 
 #include "arch/arch_context.hh"
@@ -263,29 +264,41 @@ MappingService::map(const MapRequest &req)
         std::shared_ptr<const CacheEntry> result;
         std::string search_error;
         int mii = 0;
-        auto canon_dfg = dfg::fromText(canon.text, &error);
-        if (!canon_dfg) {
-            // Canonicalizer and serializer disagree — a bug, not a
-            // request problem; fail the request loudly.
-            search_error = "internal: canonical text unparsable: " + error;
-        } else {
-            const map::PortfolioResult res =
-                search(*canon_dfg, *arch->context, options);
-            mii = res.mii;
-            if (res.success && res.mapping) {
-                auto entry = std::make_shared<CacheEntry>();
-                entry->key = key;
-                entry->ii = res.ii;
-                entry->mii = res.mii;
-                entry->attempts = res.attempts;
-                entry->searchSeconds = res.seconds;
-                entry->winner = res.winner;
-                entry->mappingText = verify::mappingToText(*res.mapping);
-                store.insert(entry);
-                result = std::move(entry);
+        // A throwing search must still publish a (failed) result below:
+        // followers are parked on flight->cv and an admission slot is
+        // held, so letting the exception escape would strand both.
+        try {
+            auto canon_dfg = dfg::fromText(canon.text, &error);
+            if (!canon_dfg) {
+                // Canonicalizer and serializer disagree — a bug, not a
+                // request problem; fail the request loudly.
+                search_error =
+                    "internal: canonical text unparsable: " + error;
             } else {
-                search_error = "unmappable within budget";
+                const map::PortfolioResult res =
+                    search(*canon_dfg, *arch->context, options);
+                mii = res.mii;
+                if (res.success && res.mapping) {
+                    auto entry = std::make_shared<CacheEntry>();
+                    entry->key = key;
+                    entry->ii = res.ii;
+                    entry->mii = res.mii;
+                    entry->attempts = res.attempts;
+                    entry->searchSeconds = res.seconds;
+                    entry->winner = res.winner;
+                    entry->mappingText =
+                        verify::mappingToText(*res.mapping);
+                    store.insert(entry);
+                    result = std::move(entry);
+                } else {
+                    search_error = "unmappable within budget";
+                }
             }
+        } catch (const std::exception &e) {
+            search_error =
+                std::string("internal: search failed: ") + e.what();
+        } catch (...) {
+            search_error = "internal: search failed";
         }
 
         {

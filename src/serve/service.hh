@@ -27,9 +27,15 @@
  *            at most maxInflight searches run at once, excess leaders
  *            queue. Successful results are inserted and persisted.
  *
- * Determinism: a given (DFG, accel, budget, seed) request computes the
- * same answer whether it hits, misses, or coalesces — hits replay a
- * verified artifact of the same search the miss would run.
+ * Determinism and seeds: the cache key is (canonical DFG, fabric
+ * fingerprint, budget class) — deliberately *not* the request seed —
+ * so results are shared across seeds within a budget class: a hit or a
+ * coalesced response may replay an artifact whose search ran under a
+ * different seed, and its II/winner/attempts can differ from what this
+ * seed's own search would have produced. Every served mapping still
+ * passed the independent verifier against this exact request. Only a
+ * genuine leader miss runs a search, and that search is reproducible
+ * for a fixed (DFG, accel, budget, seed).
  */
 
 #ifndef LISA_SERVE_SERVICE_HH

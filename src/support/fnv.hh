@@ -8,7 +8,10 @@
  * checksums (serve/cache.cc). Multi-byte integers are folded low byte
  * first, so a hash is stable across host endianness — required because
  * the LARC and LSRV warm-start files persist these values to disk and
- * validate them on load.
+ * validate them on load. Each fold consumes exactly the value's own
+ * width (i32 -> 4 bytes, u64 -> 8): widening a field changes every
+ * downstream fingerprint and silently invalidates those files, so the
+ * widths here are part of the on-disk format.
  */
 
 #ifndef LISA_SUPPORT_FNV_HH
@@ -45,10 +48,15 @@ struct Fnv1a
         }
     }
 
+    /** Fold a 32-bit value low byte first (endianness-stable). */
     void
     i32(int32_t v)
     {
-        u64(static_cast<uint64_t>(static_cast<uint32_t>(v)));
+        const auto u = static_cast<uint32_t>(v);
+        for (int i = 0; i < 4; ++i) {
+            h ^= (u >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
     }
 
     void

@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <thread>
 #include <vector>
@@ -477,6 +479,88 @@ TEST(ServeServer, SocketRoundTrip)
     ::close(fd);
     server.stop();
     EXPECT_TRUE(server.waitForShutdown(0.0));
+}
+
+size_t
+openFdCount()
+{
+    size_t n = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator("/proc/self/fd")) {
+        (void)entry;
+        ++n;
+    }
+    return n;
+}
+
+/** Connect to @p path and complete one ping round trip, so the server
+ *  has provably accepted and served the connection. @return the fd. */
+int
+pingConnection(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path)
+        return -1;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    const char *ping = "{\"op\":\"ping\"}\n";
+    if (::send(fd, ping, std::strlen(ping), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(std::strlen(ping))) {
+        ::close(fd);
+        return -1;
+    }
+    std::string got;
+    char buf[256];
+    while (got.find('\n') == std::string::npos) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) {
+            ::close(fd);
+            return -1;
+        }
+        got.append(buf, static_cast<size_t>(n));
+    }
+    return fd;
+}
+
+// Regression: the daemon must release a connection's fd (and reap its
+// handler thread) when the client disconnects, not hoard both until
+// stop() — a long-lived process would otherwise hit EMFILE and stop
+// accepting.
+TEST(ServeServer, ReleasesConnectionFdsOnClientDisconnect)
+{
+    ServeConfig cfg;
+    cfg.cacheFile.clear();
+    MappingService service(cfg);
+    const std::string path = tempPath("serve_fd_release.sock");
+    ServeServer server(service, path);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    const size_t baseline = openFdCount();
+    for (int i = 0; i < 32; ++i) {
+        const int fd = pingConnection(path);
+        ASSERT_GE(fd, 0) << "cycle " << i;
+        ::close(fd);
+    }
+
+    // The handler closes its side asynchronously after the client hangs
+    // up; poll with a deadline rather than sleeping a fixed amount.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (openFdCount() > baseline &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_LE(openFdCount(), baseline);
+
+    server.stop();
 }
 
 } // namespace
